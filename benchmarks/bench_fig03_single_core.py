@@ -1,0 +1,23 @@
+"""Figure 3: CumSum AscendC API (vec_only) vs ScanU and ScanUL1.
+
+Paper: "a significant performance improvement (5x for ScanU, and 9.6x for
+ScanUL1) compared to the vector-only CumSum algorithm ... ScanUL1 has
+roughly a 2x speedup compared to ScanU."
+"""
+
+
+def test_fig03_single_core_scans(run_figure):
+    res = run_figure("fig03")
+    last = res.rows[-1]
+
+    # ScanU approaches ~5x for large inputs
+    assert 3.5 < last["speedup_scanu"] < 6.5
+    # ScanUL1 approaches ~9.6x
+    assert 7.0 < last["speedup_scanul1"] < 12.0
+    # ScanUL1 is roughly 2x ScanU
+    ratio = last["speedup_scanul1"] / last["speedup_scanu"]
+    assert 1.5 < ratio < 2.8
+    # speedups grow with input length (the "sufficiently large" clause)
+    first = res.rows[0]
+    assert first["speedup_scanu"] < last["speedup_scanu"]
+    assert first["speedup_scanul1"] < last["speedup_scanul1"]

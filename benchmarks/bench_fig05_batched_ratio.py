@@ -1,0 +1,31 @@
+"""Figure 5: execution-time ratio between the batched ScanUL1 and ScanU
+algorithms over (array length, batch size).
+
+Paper: "ScanU is superior when the batch size is greater than 18 and the
+input length is smaller than 4K.  ScanUL1 is superior when the batch size
+is smaller than 18 and the input length larger than 4K."
+"""
+
+
+def _cell(res, batch, length):
+    return next(
+        r for r in res.rows if r["batch"] == batch and r["length"] == length
+    )
+
+
+def test_fig05_batched_ratio_heatmap(run_figure):
+    res = run_figure("fig05")
+
+    # large batch of short arrays: ScanU wins (ratio > 1)
+    assert _cell(res, 40, 1024)["ratio"] > 1.0
+    assert _cell(res, 24, 1024)["ratio"] > 1.0
+
+    # small batch of long arrays: ScanUL1 wins (ratio < 1)
+    assert _cell(res, 4, 65536)["ratio"] < 1.0
+    assert _cell(res, 4, 16384)["ratio"] < 1.0
+    assert _cell(res, 12, 65536)["ratio"] < 1.0
+
+    # the ratio is monotone along both axes in the right directions:
+    # longer arrays favour ScanUL1, larger batches favour ScanU
+    assert _cell(res, 4, 65536)["ratio"] < _cell(res, 4, 1024)["ratio"]
+    assert _cell(res, 40, 1024)["ratio"] > _cell(res, 4, 1024)["ratio"]

@@ -1,0 +1,19 @@
+"""Figure 9: MCScan throughput (GElems/s) for fp16 vs int8 inputs.
+
+Paper: "there is a performance improvement of the order of 10% for the
+case of integer inputs.  Such an improvement is crucial since the split
+and compress operators take as input boolean mask arrays stored in int8."
+"""
+
+
+def test_fig09_int8_throughput(run_figure):
+    res = run_figure("fig09")
+
+    for row in res.rows:
+        assert row["gelems_int8"] > row["gelems_fp16"]
+    last = res.rows[-1]
+    # the paper's "order of 10%"
+    assert 1.05 < last["int8_gain"] < 1.25
+    # throughput grows with n for both dtypes (overhead amortisation)
+    fp16 = res.column_values("gelems_fp16")
+    assert fp16 == sorted(fp16)

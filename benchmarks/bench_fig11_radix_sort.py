@@ -1,0 +1,22 @@
+"""Figure 11: fp16 radix sort (splits on MCScan) vs torch.sort.
+
+Paper: "For input lengths greater than 525K, our textbook implementation
+of radix sort delivers a speedup between 1.3x up to 3.3x compared to the
+torch.sort() baseline."
+"""
+
+
+def test_fig11_radix_sort(run_figure):
+    res = run_figure("fig11")
+
+    small = res.rows[0]  # 128K: below the crossover
+    assert small["speedup"] < 1.0, "baseline must win below ~525K"
+
+    beyond = [r for r in res.rows if r["n"] > 525_000]
+    assert beyond, "sweep must cross 525K"
+    for row in beyond:
+        assert 1.1 < row["speedup"] < 4.0  # paper: 1.3x - 3.3x
+
+    # the speedup grows with input size
+    speedups = [r["speedup"] for r in res.rows]
+    assert speedups[-1] == max(speedups)

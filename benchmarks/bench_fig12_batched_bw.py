@@ -1,0 +1,28 @@
+"""Figure 12: batched-scan bandwidth for increasing batch sizes and
+s = 16, 32, 64, 128 at input length 65K.
+
+Paper: "Our proposed batch scan operators for s = 64 and 128 reach up to
+400 GB/s.  Interestingly enough, for smaller values of s = 16, 32, the
+performance is poor.  In addition, the performance for s = 16 and the
+baseline is similar."
+"""
+
+
+def test_fig12_batched_bandwidth(run_figure):
+    res = run_figure("fig12")
+    full = res.rows[-1]  # batch 40
+
+    # s = 64 / 128 reach hundreds of GB/s (paper: ~400)
+    assert full["bw_s64"] > 250
+    assert full["bw_s128"] > 250
+
+    # small s performs poorly: monotone in s up to s=64
+    assert full["bw_s16"] < full["bw_s32"] < full["bw_s64"]
+    assert full["bw_s16"] < 0.5 * full["bw_s64"]
+
+    # s = 16 is close to the vector-only baseline
+    assert 0.5 < full["bw_s16"] / full["bw_baseline"] < 2.0
+
+    # bandwidth scales with batch size
+    s64 = res.column_values("bw_s64")
+    assert s64 == sorted(s64)

@@ -1,0 +1,22 @@
+"""Figure 13: top-p (nucleus) sampling time for one sample, Llama3
+pipeline, vs distribution size.
+
+Paper: "the baseline top-p sampling implementation scales poorly, mainly
+because the baseline torch.cumsum operator is not optimized for Ascend."
+"""
+
+
+def test_fig13_top_p_sampling(run_figure):
+    res = run_figure("fig13")
+    first, last = res.rows[0], res.rows[-1]
+
+    # at large vocabulary the cube pipeline beats the baseline
+    assert last["t_s128_ms"] < last["t_baseline_ms"]
+
+    # the baseline scales much worse than the cube pipelines
+    growth_base = last["t_baseline_ms"] / first["t_baseline_ms"]
+    growth_cube = last["t_s128_ms"] / first["t_s128_ms"]
+    assert growth_base > 2 * growth_cube
+
+    # larger s is no slower at the largest size
+    assert last["t_s128_ms"] <= last["t_s32_ms"] * 1.1

@@ -1,0 +1,20 @@
+"""Headline claims table: every quoted speedup/fraction of the paper in
+one regenerated table (abstract + Sections 4.1, 6.1-6.3)."""
+
+
+def _measured(res, claim):
+    row = next(r for r in res.rows if r["claim"].startswith(claim))
+    return float(row["measured"].rstrip("x% GB/s").split()[0])
+
+
+def test_headline_claims(run_figure):
+    res = run_figure("headline")
+
+    assert 3.5 < _measured(res, "ScanU vs vec_only") < 6.5  # paper 5x
+    assert 7.0 < _measured(res, "ScanUL1 vs vec_only") < 12.0  # paper 9.6x
+    assert 1.5 < _measured(res, "ScanUL1 vs ScanU") < 2.8  # paper ~2x
+    assert 10.0 < _measured(res, "MCScan vs ScanU") < 18.0  # paper 15.2x
+    assert 25.0 < _measured(res, "MCScan peak fraction") <= 37.5  # paper 37.5%
+    assert 5.0 < _measured(res, "int8 over fp16") < 25.0  # paper ~10%
+    assert 1.1 < _measured(res, "radix sort vs torch.sort") < 4.0  # 1.3-3.3x
+    assert 100.0 < _measured(res, "compress bandwidth") < 280.0  # ~160 GB/s

@@ -1,0 +1,53 @@
+"""Low-precision sorting (the paper's Section 6.3 outlook, implemented).
+
+Paper: "the number of radix sort iterations equals the input bit-width...
+an additional performance improvement (2x) for sorting in low-precision
+8-bit scenarios is expected without further development effort."
+
+This bench sorts the same number of keys as uint8 (8 split iterations) and
+fp16 (16 iterations) and checks the predicted ~2x materialises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ops import AscendOps
+from repro.runner.reporting import format_value
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_lowprec_radix_sort(benchmark):
+    def run():
+        ops = AscendOps()
+        rng = np.random.default_rng(0)
+        rows = []
+        for p in (18, 19, 20):
+            n = 1 << p
+            x8 = rng.integers(0, 256, n).astype(np.uint8)
+            x16 = rng.standard_normal(n).astype(np.float16)
+            r8 = ops.radix_sort(x8)
+            r16 = ops.radix_sort(x16)
+            assert np.array_equal(r8.values, np.sort(x8))
+            rows.append(
+                {
+                    "n": n,
+                    "t_u8_ms": r8.time_ms,
+                    "t_fp16_ms": r16.time_ms,
+                    "speedup": r16.time_ns / r8.time_ns,
+                    "splits_u8": sum(
+                        1 for t in r8.traces if "split bit" in t.label
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    cols = ["n", "t_u8_ms", "t_fp16_ms", "speedup", "splits_u8"]
+    print("\n== extension: 8-bit radix sort (paper Section 6.3 outlook)")
+    print("  ".join(cols))
+    for r in rows:
+        print("  ".join(format_value(r[c]) for c in cols))
+
+    for r in rows:
+        assert r["splits_u8"] == 8  # iterations equal the key bit-width
+        assert 1.6 < r["speedup"] < 2.5  # the paper's predicted ~2x

@@ -1,0 +1,55 @@
+"""Top-k operator comparison: quickselect (paper) vs streaming baseline vs
+radix select (the RadiK direction the paper cites).
+
+Two results to reproduce:
+
+* the paper's *negative* result — "we could not improve the performance of
+  the baseline top-k for small values of k (k <= 4096)";
+* the literature's answer — radix-based selection scales to large k where
+  the streaming baseline's per-core candidate state degrades.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ops import AscendOps
+from repro.runner.reporting import format_value
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_topk_scaling(benchmark):
+    def run():
+        ops = AscendOps()
+        rng = np.random.default_rng(0)
+        n = 1 << 19
+        x = rng.standard_normal(n).astype(np.float16)
+        rows = []
+        for k in (64, 1024, 4096, 16384, 65536):
+            row = {"k": k}
+            row["t_baseline_us"] = ops.topk_baseline(x, k).time_us
+            row["t_radix_us"] = ops.topk_radix(x, k).time_us
+            if k <= 4096:
+                row["t_quickselect_us"] = ops.topk(x, k).time_us
+            else:
+                row["t_quickselect_us"] = float("nan")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    cols = ["k", "t_baseline_us", "t_quickselect_us", "t_radix_us"]
+    print("\n== extension: top-k scaling in k (n = 512K)")
+    print("  ".join(cols))
+    for r in rows:
+        print("  ".join(format_value(r[c]) for c in cols))
+
+    # the paper's negative result at small k
+    for r in rows:
+        if r["k"] <= 4096:
+            assert r["t_baseline_us"] < r["t_quickselect_us"]
+    # radix select wins at the largest k (the RadiK claim)
+    big = rows[-1]
+    assert big["t_radix_us"] < big["t_baseline_us"]
+    # and the baseline degrades with k much faster than radix select
+    growth_base = rows[-1]["t_baseline_us"] / rows[0]["t_baseline_us"]
+    growth_radix = rows[-1]["t_radix_us"] / rows[0]["t_radix_us"]
+    assert growth_base > 2 * growth_radix

@@ -1,0 +1,47 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one figure/table of the paper on the simulated
+910B4 and:
+
+* reports the harness wall time through pytest-benchmark (one round — every
+  experiment is a deterministic simulation, not a noisy measurement);
+* prints the paper-comparable series (visible with ``-s``);
+* writes the same series to ``benchmarks/results/<exp_id>.txt`` so
+  EXPERIMENTS.md can be regenerated from a benchmark run;
+* asserts the *shape* of the paper's claim (who wins, rough factors,
+  crossovers), never absolute nanoseconds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.runner import ExperimentResult, run_experiment, to_text
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def run_figure(benchmark, results_dir):
+    """Run one registered experiment under the benchmark timer; persist and
+    print its series; return it for shape assertions."""
+
+    def _run(exp_id: str, quick: bool = True) -> ExperimentResult:
+        result = benchmark.pedantic(
+            run_experiment, args=(exp_id, quick), iterations=1, rounds=1
+        )
+        text = to_text(result)
+        print()
+        print(text)
+        (results_dir / f"{exp_id}.txt").write_text(text + "\n")
+        return result
+
+    return _run

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: prefix sums on a simulated Ascend 910B4.
+
+Runs the paper's four scan algorithms on the same input and prints the
+execution-time / bandwidth comparison of Figure 3 plus the multi-core
+MCScan of Figure 8 — all on the simulated device, so this works on any
+laptop.
+
+    python examples/quickstart.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import ScanContext
+from repro.core.reference import exact_fp16_scan_input
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 20
+    print(f"Scanning {n:,} fp16 elements on a simulated Ascend 910B4\n")
+
+    ctx = ScanContext()  # owns the device and the constant matrices U_s, ...
+    rng = np.random.default_rng(0)
+    # fp16 data constructed so every partial sum is exactly representable
+    x, expected = exact_fp16_scan_input(n, rng)
+
+    results = {}
+    for algo in ("vector", "scanu", "scanul1", "mcscan"):
+        res = ctx.scan(x, algorithm=algo, s=128)
+        want = expected if algo != "vector" else expected.astype(np.float16)
+        assert np.array_equal(
+            res.values.astype(np.float32), want.astype(np.float32)
+        ), f"{algo} produced wrong values!"
+        results[algo] = res
+
+    base = results["vector"].time_ns
+    print(f"{'algorithm':10s} {'time':>12s} {'bandwidth':>12s} {'speedup':>9s}")
+    print("-" * 48)
+    for algo, res in results.items():
+        print(
+            f"{algo:10s} {res.time_us:9.1f} us {res.bandwidth_gbps:9.1f} GB/s"
+            f" {base / res.time_ns:8.1f}x"
+        )
+
+    mc = results["mcscan"]
+    print(
+        f"\nMCScan used {ctx.config.num_cube_cores} cube + "
+        f"{ctx.config.num_vector_cores} vector cores and reached "
+        f"{mc.bandwidth_gbps / ctx.config.memory.hbm_bandwidth_gbps:.0%} "
+        f"of the 800 GB/s peak (paper: up to 37.5%)."
+    )
+
+    print("\nExecution trace of the MCScan launch:")
+    print(mc.trace.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — Parallel Scan on (simulated) Ascend AI Accelerators.
+
+Reproduction of Wróblewski, Gottardo, Zouzias, *Parallel Scan on Ascend AI
+Accelerators* (IPPS 2025).  The package contains:
+
+* :mod:`repro.hw` — a functional + timing simulator of the Ascend 910B
+  DaVinci architecture (cube/vector cores, local buffers, HBM + L2);
+* :mod:`repro.lang` — an AscendC-style kernel programming model;
+* :mod:`repro.core` — the paper's scan algorithms (ScanU, ScanUL1, batched
+  scans, the multi-core MCScan) and the vector-only baseline;
+* :mod:`repro.ops` — scan-based operators: split, compress, radix sort,
+  top-k, top-p (nucleus) sampling, weighted sampling;
+* :mod:`repro.analysis` — work/depth and bandwidth analysis utilities;
+* :mod:`repro.runner` — the experiment harness regenerating every figure
+  of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from .hw import ASCEND_910B4, AscendDevice, DeviceConfig, toy_config
+
+__all__ = [
+    "ASCEND_910B4",
+    "AscendDevice",
+    "DeviceConfig",
+    "toy_config",
+    "__version__",
+]

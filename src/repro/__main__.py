@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``info`` — print the simulated device configuration;
+* ``scan`` — run one scan algorithm on random data and report time /
+  bandwidth (optionally an ASCII timeline of the launch);
+* ``experiment`` — regenerate one of the paper's figures (or ``all``) and
+  print its series table;
+* ``sort`` / ``compress`` / ``topp`` — run one operator comparison.
+
+Examples::
+
+    python -m repro info
+    python -m repro scan --algorithm mcscan -n 1048576 --timeline
+    python -m repro experiment fig08
+    python -m repro experiment all --out EXPERIMENTS_RESULTS.md --markdown
+    python -m repro sort -n 1048576
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.api import SCAN_ALGORITHMS, SCAN_STRATEGIES, ScanContext
+from .hw.config import ASCEND_910B4
+from .hw.traceview import render_timeline
+from .ops.driver import AscendOps
+from .ops.topp import TopPSampler
+from .runner import EXPERIMENTS, run_experiment, to_markdown, to_text
+
+__all__ = ["main"]
+
+
+def _parse_size(text: str) -> int:
+    """Accept 1048576, 1M, 64K, 2G style sizes."""
+    text = text.strip().upper()
+    mult = 1
+    if text and text[-1] in "KMG":
+        mult = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}[text[-1]]
+        text = text[:-1]
+    return int(float(text) * mult)
+
+
+def cmd_info(args) -> int:
+    cfg = ASCEND_910B4
+    print(f"device          : {cfg.name} (simulated)")
+    print(f"AI cores        : {cfg.num_ai_cores} "
+          f"({cfg.num_cube_cores} cube + {cfg.num_vector_cores} vector)")
+    print(f"clock           : {cfg.clock_ghz} GHz")
+    print(f"HBM             : {cfg.memory.hbm_bandwidth_gbps:.0f} GB/s peak, "
+          f"{cfg.memory.dram_efficiency:.0%} streaming efficiency")
+    print(f"L2 cache        : {cfg.memory.l2_capacity_bytes >> 20} MiB")
+    b = cfg.buffers
+    print(f"local buffers   : UB {b.ub_bytes >> 10} KiB, L1 {b.l1_bytes >> 10} KiB, "
+          f"L0A/L0B {b.l0a_bytes >> 10} KiB, L0C {b.l0c_bytes >> 10} KiB")
+    print(f"scan algorithms : {', '.join(SCAN_ALGORITHMS)}")
+    print(f"scan strategies : {', '.join(SCAN_STRATEGIES)}")
+    print(f"experiments     : {', '.join(sorted(EXPERIMENTS))}")
+    return 0
+
+
+def cmd_scan(args) -> int:
+    n = _parse_size(args.n)
+    rng = np.random.default_rng(args.seed)
+    if args.dtype == "fp16":
+        x = (rng.integers(0, 3, n) - 1).astype(np.float16)
+    else:
+        x = rng.integers(-5, 6, n).astype(np.int8)
+    ctx = ScanContext()
+    if args.algorithm in SCAN_ALGORITHMS:
+        res = ctx.scan(x, algorithm=args.algorithm, s=args.s,
+                       exclusive=args.exclusive)
+    else:
+        res = ctx.scan_strategy(x, strategy=args.algorithm, s=args.s)
+    print(
+        f"{args.algorithm}(s={args.s}) over {n:,} {args.dtype} elements: "
+        f"{res.time_us:.1f} us, {res.bandwidth_gbps:.1f} GB/s "
+        f"({res.bandwidth_gbps / 8:.1f}% of peak), "
+        f"{res.gelems_per_s:.1f} GElems/s"
+    )
+    print(res.trace.summary())
+    if args.timeline:
+        print()
+        print(render_timeline(res.trace, width=args.width))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    render = to_markdown if args.markdown else to_text
+    chunks = []
+    for name in names:
+        result = run_experiment(name, quick=not args.full)
+        chunks.append(render(result))
+        if not args.out:
+            print(chunks[-1])
+            print()
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write("\n\n".join(chunks) + "\n")
+        print(f"wrote {len(names)} experiment table(s) to {args.out}")
+    return 0
+
+
+def cmd_sort(args) -> int:
+    n = _parse_size(args.n)
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(n).astype(np.float16)
+    ops = AscendOps()
+    radix = ops.radix_sort(x, descending=args.descending)
+    base = ops.baseline_sort(x, descending=args.descending)
+    assert np.array_equal(radix.values, base.values)
+    print(f"radix sort : {radix.time_ms:8.2f} ms ({radix.kernel_launches} launches)")
+    print(f"torch.sort : {base.time_ms:8.2f} ms")
+    print(f"speedup    : {base.time_ns / radix.time_ns:.2f}x "
+          f"(paper: 1.3x-3.3x above ~525K elements)")
+    return 0
+
+
+def cmd_compress(args) -> int:
+    n = _parse_size(args.n)
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(n).astype(np.float16)
+    mask = (rng.random(n) < args.density).astype(np.int8)
+    ops = AscendOps()
+    fast = ops.compress(x, mask, s=args.s)
+    print(f"compress        : {fast.time_us:10.1f} us, "
+          f"{fast.bandwidth_gbps:.1f} GB/s")
+    if not args.skip_baseline:
+        base = ops.masked_select_baseline(x, mask)
+        print(f"masked_select   : {base.time_us:10.1f} us, "
+              f"{base.bandwidth_gbps:.3f} GB/s "
+              f"({base.time_ns / fast.time_ns:,.0f}x slower)")
+    return 0
+
+
+def cmd_topp(args) -> int:
+    n = _parse_size(args.n)
+    rng = np.random.default_rng(args.seed)
+    logits = rng.standard_normal(n).astype(np.float32) * 3
+    probs = np.exp(logits - logits.max())
+    probs = (probs / probs.sum()).astype(np.float16)
+    sampler = TopPSampler(AscendOps(), s=args.s)
+    for backend in ("cube", "baseline"):
+        res = sampler.sample(probs, args.p, theta=args.theta, backend=backend)
+        print(f"{backend:8s}: token {int(res.values[0]):8d}  "
+              f"nucleus {res.extras['nucleus_size']:6d}  "
+              f"{res.time_ms:8.3f} ms  ({res.kernel_launches} launches)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel scan on a simulated Ascend 910B4 "
+        "(reproduction of Wroblewski et al., IPPS 2025)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the device configuration").set_defaults(
+        fn=cmd_info
+    )
+
+    ps = sub.add_parser("scan", help="run one scan algorithm")
+    ps.add_argument("--algorithm", default="mcscan",
+                    choices=sorted(set(SCAN_ALGORITHMS) | set(SCAN_STRATEGIES)))
+    ps.add_argument("-n", default="1M", help="input length (accepts K/M/G)")
+    ps.add_argument("--s", type=int, default=128, choices=(16, 32, 64, 128))
+    ps.add_argument("--dtype", default="fp16", choices=("fp16", "int8"))
+    ps.add_argument("--exclusive", action="store_true")
+    ps.add_argument("--timeline", action="store_true",
+                    help="render an ASCII timeline of the launch")
+    ps.add_argument("--width", type=int, default=100)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.set_defaults(fn=cmd_scan)
+
+    pe = sub.add_parser("experiment", help="regenerate a paper figure")
+    pe.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    pe.add_argument("--full", action="store_true",
+                    help="full sweeps (slower) instead of quick mode")
+    pe.add_argument("--markdown", action="store_true")
+    pe.add_argument("--out", help="write the table(s) to a file")
+    pe.set_defaults(fn=cmd_experiment)
+
+    po = sub.add_parser("sort", help="radix sort vs torch.sort")
+    po.add_argument("-n", default="1M")
+    po.add_argument("--descending", action="store_true")
+    po.add_argument("--seed", type=int, default=0)
+    po.set_defaults(fn=cmd_sort)
+
+    pc = sub.add_parser("compress", help="compress vs masked_select")
+    pc.add_argument("-n", default="512K")
+    pc.add_argument("--density", type=float, default=0.5)
+    pc.add_argument("--s", type=int, default=128, choices=(16, 32, 64, 128))
+    pc.add_argument("--skip-baseline", action="store_true")
+    pc.add_argument("--seed", type=int, default=0)
+    pc.set_defaults(fn=cmd_compress)
+
+    pt = sub.add_parser("topp", help="top-p sampling, cube vs baseline")
+    pt.add_argument("-n", default="32K")
+    pt.add_argument("--p", type=float, default=0.9)
+    pt.add_argument("--theta", type=float, default=0.5)
+    pt.add_argument("--s", type=int, default=128, choices=(32, 64, 128))
+    pt.add_argument("--seed", type=int, default=0)
+    pt.set_defaults(fn=cmd_topp)
+
+    return p
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

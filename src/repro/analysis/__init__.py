@@ -1,0 +1,35 @@
+"""Work/depth, bandwidth and roofline analysis utilities."""
+
+from .bandwidth import (
+    TrafficBreakdown,
+    gelems_per_s,
+    io_bandwidth_gbps,
+    peak_fraction,
+    scan_peak_fraction_bound,
+    traffic_breakdown,
+)
+from .roofline import RooflinePoint, machine_balance_flops_per_byte, roofline_point
+from .workdepth import (
+    AlgorithmCosts,
+    mcscan_costs,
+    scanu_costs,
+    scanul1_costs,
+    vector_baseline_costs,
+)
+
+__all__ = [
+    "AlgorithmCosts",
+    "RooflinePoint",
+    "TrafficBreakdown",
+    "gelems_per_s",
+    "io_bandwidth_gbps",
+    "machine_balance_flops_per_byte",
+    "mcscan_costs",
+    "peak_fraction",
+    "roofline_point",
+    "scan_peak_fraction_bound",
+    "scanu_costs",
+    "scanul1_costs",
+    "traffic_breakdown",
+    "vector_baseline_costs",
+]

@@ -1,0 +1,77 @@
+"""Bandwidth accounting (the paper's evaluation metrics).
+
+The paper reports all results "in terms of bandwidth (GB/s or GElems/s)"
+against the 800 GB/s peak of the 910B4.  The metric counts *logical* input
+and output bytes over end-to-end time; internal traffic (intermediate
+local-scan arrays, the recomputed reduction reads, the ``r`` array) does
+not count toward it — that is precisely why a scan cannot reach 100% of
+peak: MCScan moves ~16 bytes of GM traffic per fp16 element but only 6 of
+them are logical I/O, bounding it at 6/16 = 37.5% of peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.config import DeviceConfig
+from ..hw.trace import Trace
+
+__all__ = [
+    "io_bandwidth_gbps",
+    "gelems_per_s",
+    "peak_fraction",
+    "TrafficBreakdown",
+    "traffic_breakdown",
+    "scan_peak_fraction_bound",
+]
+
+
+def io_bandwidth_gbps(io_bytes: int, time_ns: float) -> float:
+    """Logical-I/O bandwidth in GB/s (bytes per nanosecond)."""
+    return io_bytes / time_ns if time_ns > 0 else 0.0
+
+
+def gelems_per_s(n_elements: int, time_ns: float) -> float:
+    return n_elements / time_ns if time_ns > 0 else 0.0
+
+
+def peak_fraction(bandwidth_gbps: float, config: DeviceConfig) -> float:
+    return bandwidth_gbps / config.memory.hbm_bandwidth_gbps
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """GM traffic of a trace split by direction and service class."""
+
+    read_bytes: int
+    write_bytes: int
+    l2_hit_bytes: int
+    total_bytes: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.l2_hit_bytes / self.total_bytes if self.total_bytes else 0.0
+
+
+def traffic_breakdown(trace: Trace) -> TrafficBreakdown:
+    total = trace.gm_bytes()
+    return TrafficBreakdown(
+        read_bytes=trace.gm_read_bytes(),
+        write_bytes=trace.gm_write_bytes(),
+        l2_hit_bytes=trace.l2_hit_bytes(),
+        total_bytes=total,
+    )
+
+
+def scan_peak_fraction_bound(
+    io_bytes_per_element: float, traffic_bytes_per_element: float
+) -> float:
+    """Upper bound on the achievable peak fraction of a memory-bound
+    operator: logical I/O per element over total GM traffic per element.
+
+    For fp16 MCScan: io = 2 (in) + 4 (fp32 out) = 6; traffic = 16
+    (x read twice, intermediate written, read and rewritten) -> 37.5%.
+    """
+    if traffic_bytes_per_element <= 0:
+        raise ZeroDivisionError("traffic must be positive")
+    return io_bytes_per_element / traffic_bytes_per_element

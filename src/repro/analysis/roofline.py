@@ -1,0 +1,73 @@
+"""Roofline placement of kernel traces.
+
+Scan is memory-bound (paper Section 2.1): its operational intensity is far
+below the machine balance point of the Ascend cube units.  These helpers
+compute where a trace sits and which resource bounds it — used by the
+ablation benchmarks and by tests asserting that the scan kernels are indeed
+on the memory-bound side of the roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.config import DeviceConfig
+from ..hw.trace import Trace
+
+__all__ = ["RooflinePoint", "roofline_point", "machine_balance_flops_per_byte"]
+
+
+def _peak_mac_per_ns(config: DeviceConfig) -> float:
+    """Aggregate cube MAC throughput (fp16 MACs per nanosecond)."""
+    c = config.costs
+    f = c.mmad_fractal
+    per_cycle = f * f * f * c.mmad_efficiency
+    return per_cycle * config.clock_ghz * config.num_cube_cores
+
+
+def machine_balance_flops_per_byte(config: DeviceConfig) -> float:
+    """Operational intensity at which compute and memory roofs meet."""
+    return 2.0 * _peak_mac_per_ns(config) / config.hbm_bytes_per_ns
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A kernel's position in the roofline model."""
+
+    flops: float
+    gm_bytes: int
+    time_ns: float
+    operational_intensity: float  # flops per GM byte
+    achieved_flops_per_ns: float
+    attainable_flops_per_ns: float
+    memory_bound: bool
+
+    @property
+    def roofline_fraction(self) -> float:
+        if self.attainable_flops_per_ns <= 0:
+            return 0.0
+        return self.achieved_flops_per_ns / self.attainable_flops_per_ns
+
+
+def roofline_point(trace: Trace, flops: float) -> RooflinePoint:
+    """Place a trace on its device's roofline.
+
+    ``flops`` is the algorithm's useful floating-point work (e.g. n adds
+    for a scan) — the caller decides what counts as useful.
+    """
+    config = trace.config
+    gm = trace.gm_bytes()
+    t = trace.total_ns
+    oi = flops / gm if gm else float("inf")
+    mem_roof = oi * config.hbm_bytes_per_ns
+    compute_roof = _peak_mac_per_ns(config) * 2.0
+    attainable = min(mem_roof, compute_roof)
+    return RooflinePoint(
+        flops=flops,
+        gm_bytes=gm,
+        time_ns=t,
+        operational_intensity=oi,
+        achieved_flops_per_ns=flops / t if t else 0.0,
+        attainable_flops_per_ns=attainable,
+        memory_bound=mem_roof <= compute_roof,
+    )

@@ -1,0 +1,145 @@
+"""Work/depth analysis of the scan algorithms.
+
+The TCU model (paper Section 2.3) has no notion of parallelism or vector
+units, so — following the paper — we analyse work and depth assuming
+multiple matrix engines and vector units whose operations count as basic
+operations.  These closed forms also serve as invariants for the simulator:
+the op counts and GM traffic of a kernel trace must match them exactly
+(see tests/test_analysis.py).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+
+__all__ = [
+    "AlgorithmCosts",
+    "scanu_costs",
+    "scanul1_costs",
+    "mcscan_costs",
+    "vector_baseline_costs",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmCosts:
+    """Operation counts and traffic for one scan algorithm instance.
+
+    ``depth`` counts basic operations (matmul / vector-instruction /
+    transfer) on the critical path; ``work`` counts them in total.
+    """
+
+    name: str
+    tiles: int
+    matmuls: int
+    cube_mac_work: int
+    vector_instructions: int
+    gm_traffic_bytes: int
+    depth: int
+
+    @property
+    def work(self) -> int:
+        return self.matmuls + self.vector_instructions
+
+
+def _tiles(n: int, ell: int) -> int:
+    if n <= 0 or n % ell != 0:
+        raise ShapeError(f"n={n} must be a positive multiple of l={ell}")
+    return n // ell
+
+
+def scanu_costs(
+    n: int, s: int, *, in_bytes: int = 2, out_bytes: int = 4
+) -> AlgorithmCosts:
+    """ScanU (Algorithm 1): one matmul per tile; ``s`` serial vector Adds
+    per tile; traffic = x in (cube) + y out (cube) + y in/out (vector)."""
+    ell = s * s
+    t = _tiles(n, ell)
+    return AlgorithmCosts(
+        name="scanu",
+        tiles=t,
+        matmuls=t,
+        cube_mac_work=t * s * s * s,
+        vector_instructions=t * s,
+        gm_traffic_bytes=n * in_bytes + 3 * n * out_bytes,
+        # per tile the vector chain is serial in its s rows, and tiles are
+        # serialised by the running partial
+        depth=t * (s + 3),  # s Adds + load/matmul/store per tile
+    )
+
+
+def scanul1_costs(
+    n: int, s: int, *, in_bytes: int = 2, out_bytes: int = 4
+) -> AlgorithmCosts:
+    """ScanUL1 (Algorithm 2): three matmuls per tile (Equation 1); one
+    vector Adds per tile."""
+    ell = s * s
+    t = _tiles(n, ell)
+    return AlgorithmCosts(
+        name="scanul1",
+        tiles=t,
+        matmuls=3 * t,
+        cube_mac_work=t * (2 * s * s * s + s * s * s),
+        vector_instructions=t,
+        gm_traffic_bytes=n * in_bytes + 3 * n * out_bytes,
+        depth=t * 7,  # load, 3 matmuls, 2 staging copies, 1 Adds
+    )
+
+
+def mcscan_costs(
+    n: int,
+    s: int,
+    blocks: int,
+    *,
+    halves_per_block: int = 2,
+    in_bytes: int = 2,
+    out_bytes: int = 4,
+) -> AlgorithmCosts:
+    """MCScan (Algorithm 3): phase I recomputes reductions on the vector
+    units in parallel with the cube local scans; phase II scans ``r`` and
+    propagates.  Traffic: x read twice (cube + vector recomputation),
+    intermediate written once, then read and rewritten in phase II."""
+    ell = s * s
+    t = _tiles(n, ell)
+    lanes = blocks * halves_per_block
+    tiles_per_lane = math.ceil(t / lanes)
+    return AlgorithmCosts(
+        name="mcscan",
+        tiles=t,
+        matmuls=t,
+        cube_mac_work=t * s * s * s,
+        # phase I reductions (1/tile) + r writes + phase II chains (s/tile)
+        vector_instructions=t + lanes + t * s + lanes,
+        gm_traffic_bytes=(
+            2 * n * in_bytes  # cube read + vector recomputation read
+            + 3 * n * out_bytes  # intermediate write, phase-II read + write
+            + lanes * out_bytes  # each lane writes its r entry
+            + lanes * lanes * out_bytes  # each lane reads the whole r
+        ),
+        # the critical path is one lane's tiles in each phase plus the
+        # barrier; tiles pipeline within a lane but the chain is serial
+        depth=tiles_per_lane * (s + 3) + tiles_per_lane + 1,
+    )
+
+
+def vector_baseline_costs(n: int, *, rows: int = 128, cols: int = 128,
+                          instructions_per_row: int = 4,
+                          elem_bytes: int = 2) -> AlgorithmCosts:
+    """The CumSum-API vector-only baseline: row-serial in-tile scans plus
+    the same serial propagation chain, no cube work at all."""
+    tile = rows * cols
+    if n % cols != 0:
+        raise ShapeError(f"n={n} must be a multiple of {cols}")
+    t = math.ceil(n / tile)
+    return AlgorithmCosts(
+        name="vector-cumsum",
+        tiles=t,
+        matmuls=0,
+        cube_mac_work=0,
+        vector_instructions=t * rows * (instructions_per_row + 1),
+        gm_traffic_bytes=2 * n * elem_bytes,
+        depth=t * rows * (instructions_per_row + 1),
+    )

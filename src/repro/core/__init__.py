@@ -1,0 +1,42 @@
+"""Core scan algorithms (paper Section 4)."""
+
+from .api import BATCHED_ALGORITHMS, SCAN_ALGORITHMS, ScanContext, ScanResult
+from .batched import BatchedScanUKernel, BatchedScanUL1Kernel
+from .copykernel import CopyKernel
+from .matrices import (
+    ScanConstants,
+    batched_tile_rows,
+    padded_length,
+    tile_count,
+    upload_constants,
+)
+from .mcscan import MCScanKernel, mcscan_partition
+from .pipelines import UCubePipeline, UL1CubePipeline, VecPropagator, VecReducer
+from .scanu import ScanUKernel
+from .scanul1 import ScanUL1Kernel
+from .vector_baseline import BatchedCumSumKernel, CumSumKernel
+
+__all__ = [
+    "BATCHED_ALGORITHMS",
+    "BatchedCumSumKernel",
+    "BatchedScanUKernel",
+    "BatchedScanUL1Kernel",
+    "CopyKernel",
+    "CumSumKernel",
+    "MCScanKernel",
+    "SCAN_ALGORITHMS",
+    "ScanConstants",
+    "ScanContext",
+    "ScanResult",
+    "ScanUKernel",
+    "ScanUL1Kernel",
+    "UCubePipeline",
+    "UL1CubePipeline",
+    "VecPropagator",
+    "VecReducer",
+    "batched_tile_rows",
+    "mcscan_partition",
+    "padded_length",
+    "tile_count",
+    "upload_constants",
+]

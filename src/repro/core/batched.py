@@ -1,0 +1,163 @@
+"""Batched (multiple-array) scans — Section 4.2 of the paper.
+
+Two scheduling strategies over a 2-D batch ``(batch, row_len)``:
+
+* :class:`BatchedScanUKernel` — based on ScanU (Figure 4): each AI core
+  processes *two* arrays at a time; its cube core computes the s-tile-local
+  scans of both (interleaved), and the two vector cores of the AI core
+  finish one array each by propagating partial sums.  This matches the
+  910B's 2:1 vector-to-cube ratio.
+
+* :class:`BatchedScanUL1Kernel` — based on ScanUL1: each AI core computes
+  the scan of a separate array with the three-matmul tile pipeline; the
+  vector-side single-Adds propagation alternates between the AI core's two
+  vector cores across rows.
+
+Both use the same shape-derived tiling (``rows x s`` tiles with
+``rows = batched_tile_rows(row_len, s)``), as the paper requires for a
+fair comparison.  The paper's finding (Figure 5): ScanU wins for large
+batches of short arrays, ScanUL1 for small batches of long arrays.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, ShapeError
+from ..hw.datatypes import cube_accum_dtype
+from ..hw.memory import GlobalTensor
+from ..lang.kernel import Kernel
+from .matrices import ScanConstants
+from .pipelines import UCubePipeline, UL1CubePipeline, VecPropagator
+
+__all__ = ["BatchedScanUKernel", "BatchedScanUL1Kernel"]
+
+
+def _validate_batched(x, y, consts: ScanConstants, s: int, name: str) -> int:
+    if len(x.shape) != 2:
+        raise ShapeError(f"{name} expects a 2-D batch, got shape {x.shape}")
+    if y.shape != x.shape:
+        raise ShapeError(f"output shape {y.shape} != input shape {x.shape}")
+    if not x.dtype.cube_input:
+        raise KernelError(f"{name} input dtype {x.dtype.name} is not cube-capable")
+    acc = cube_accum_dtype(x.dtype)
+    if y.dtype.name != acc.name:
+        raise KernelError(
+            f"{name} output dtype must be the accumulator {acc.name}, "
+            f"got {y.dtype.name}"
+        )
+    if consts.dtype.name != x.dtype.name or consts.s != s:
+        raise KernelError(
+            f"constants are for (s={consts.s}, {consts.dtype.name}), "
+            f"kernel needs (s={s}, {x.dtype.name})"
+        )
+    tile = consts.tile_elements
+    if x.shape[1] % tile != 0:
+        raise ShapeError(
+            f"{name} row length {x.shape[1]} must be a multiple of the "
+            f"{consts.rows}x{s} tile ({tile} elements); pad with zeros"
+        )
+    return x.shape[1] // tile
+
+
+class BatchedScanUKernel(Kernel):
+    """Batched scan scheduling ScanU over pairs of arrays (Figure 4)."""
+
+    mode = "mix"
+
+    def __init__(
+        self,
+        x: GlobalTensor,
+        y: GlobalTensor,
+        consts: ScanConstants,
+        s: int,
+        block_dim: int,
+    ):
+        super().__init__(block_dim=block_dim)
+        self.tiles_per_row = _validate_batched(x, y, consts, s, "BatchedScanU")
+        self.x = x
+        self.y = y
+        self.consts = consts
+        self.s = s
+
+    def run(self, ctx) -> None:
+        batch, row_len = self.x.shape
+        s = self.s
+        tile = self.consts.tile_elements
+        lanes = len(ctx.vector_cores)  # 2 on the 910B
+        n_groups = -(-batch // lanes)
+        my_groups = range(ctx.block_idx, n_groups, ctx.block_dim)
+        if not my_groups:
+            return
+
+        cube = UCubePipeline(ctx, self.consts, s, tile_rows=self.consts.rows)
+        props = [
+            VecPropagator(ctx, ctx.vec_core(j), tile, cube.out_dt)
+            for j in range(lanes)
+        ]
+
+        for g in my_groups:
+            rows = [r for r in range(g * lanes, min((g + 1) * lanes, batch))]
+            for j, _ in enumerate(rows):
+                props[j].reset()
+            for t in range(self.tiles_per_row):
+                # cube: local scans of this tile for each array of the group
+                for j, r in enumerate(rows):
+                    off = r * row_len + t * tile
+                    cube.local_scan_tile(
+                        self.x.slice(off, tile),
+                        self.y.slice(off, tile),
+                        label=f"r{r}t{t}",
+                    )
+                # vector cores: one array each
+                for j, r in enumerate(rows):
+                    off = r * row_len + t * tile
+                    gm = self.y.slice(off, tile)
+                    props[j].propagate_tile(gm, gm, s, label=f"r{r}t{t}")
+
+
+class BatchedScanUL1Kernel(Kernel):
+    """Batched scan running ScanUL1 with one array per AI core."""
+
+    mode = "mix"
+
+    def __init__(
+        self,
+        x: GlobalTensor,
+        y: GlobalTensor,
+        consts: ScanConstants,
+        s: int,
+        block_dim: int,
+    ):
+        super().__init__(block_dim=block_dim)
+        self.tiles_per_row = _validate_batched(x, y, consts, s, "BatchedScanUL1")
+        self.x = x
+        self.y = y
+        self.consts = consts
+        self.s = s
+
+    def run(self, ctx) -> None:
+        batch, row_len = self.x.shape
+        tile = self.consts.tile_elements
+        my_rows = list(range(ctx.block_idx, batch, ctx.block_dim))
+        if not my_rows:
+            return
+
+        cube = UL1CubePipeline(ctx, self.consts, self.s)
+        lanes = len(ctx.vector_cores)
+        props = [
+            VecPropagator(ctx, ctx.vec_core(j), tile, cube.out_dt)
+            for j in range(lanes)
+        ]
+
+        for idx, r in enumerate(my_rows):
+            prop = props[idx % lanes]
+            prop.reset()
+            for t in range(self.tiles_per_row):
+                off = r * row_len + t * tile
+                cube.scan_tile(
+                    self.x.slice(off, tile),
+                    self.y.slice(off, tile),
+                    label=f"r{r}t{t}",
+                )
+                gm = self.y.slice(off, tile)
+                # tile is fully scanned: single-Adds propagation
+                prop.propagate_tile(gm, gm, tile, label=f"r{r}t{t}")

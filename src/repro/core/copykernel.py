@@ -1,0 +1,66 @@
+"""Copy kernel (``torch.clone`` stand-in).
+
+Figure 8 of the paper compares MCScan's bandwidth against a pure memory
+copy: "we compare it to a copy kernel that performs a memory copy; we used
+torch.clone()".  This kernel streams the input through the UBs of all
+participating vector cores — the best case for the memory system, and the
+yardstick for "approaching the theoretical limit".
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+
+__all__ = ["CopyKernel"]
+
+
+class CopyKernel(Kernel):
+    """Multi-core tiled GM-to-GM copy through UB."""
+
+    mode = "vec"
+
+    def __init__(
+        self,
+        x: GlobalTensor,
+        y: GlobalTensor,
+        block_dim: int,
+        tile_elements: int = 16384,
+    ):
+        super().__init__(block_dim=block_dim)
+        if y.num_elements != x.num_elements or y.dtype.name != x.dtype.name:
+            raise ShapeError("copy output must match input length and dtype")
+        self.x = x
+        self.y = y
+        self.tile_elements = tile_elements
+
+    def run(self, ctx) -> None:
+        n = self.x.num_elements
+        # tile-aligned partitions: unaligned block boundaries would falsely
+        # order adjacent cores' DMA descriptors on the same cache sector
+        n_tiles = -(-n // self.tile_elements)
+        tiles_per_block = -(-n_tiles // self.block_dim)
+        per_block = tiles_per_block * self.tile_elements
+        start = ctx.block_idx * per_block
+        end = min(start + per_block, n)
+        if start >= end:
+            return
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        ub = pipe.init_buffer(
+            buffer=BufferKind.UB,
+            depth=2,
+            slot_bytes=self.tile_elements * self.x.dtype.itemsize,
+        )
+        off = start
+        while off < end:
+            ln = min(self.tile_elements, end - off)
+            tile = ub.alloc_tensor(self.x.dtype, ln)
+            I.data_copy(ctx, tile, self.x.slice(off, ln), label="copy in")
+            ub.enque(tile)
+            tile = ub.deque()
+            I.data_copy(ctx, self.y.slice(off, ln), tile, label="copy out")
+            ub.free_tensor(tile)
+            off += ln

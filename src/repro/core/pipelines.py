@@ -1,0 +1,302 @@
+"""Reusable kernel building blocks.
+
+The paper's kernels compose a small number of per-tile stages:
+
+* :class:`UCubePipeline` — the ScanU cube stage: one ``A @ U_s`` matmul per
+  ``l``-tile producing s-tile-local scans (Algorithm 1 lines 5-8, also the
+  cube stage of MCScan phase I and of the batched ScanU kernel);
+* :class:`UL1CubePipeline` — the ScanUL1 cube stage: the three-matmul
+  evaluation of Equation (1) with L0C accumulation (Algorithm 2 lines 5-13);
+* :class:`VecPropagator` — the vector stage: serial partial-sum propagation
+  across tiles (Algorithm 1 lines 9-15 / Algorithm 3 phase II), with
+  optional exclusive-scan output via an in-UB shift;
+* :class:`VecReducer` — the vector stage of MCScan phase I: per-block
+  reduction of the raw input (Algorithm 3 lines 11-13).
+
+Keeping them here lets the single-core, batched and multi-core kernels
+share one implementation of each stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError, ShapeError
+from ..hw.datatypes import DType, cube_accum_dtype
+from ..hw.memory import GlobalSlice, GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.context import KernelContext
+from ..lang.tensor import BufferKind
+from .matrices import ScanConstants
+
+__all__ = ["UCubePipeline", "UL1CubePipeline", "VecPropagator", "VecReducer"]
+
+
+class UCubePipeline:
+    """Cube stage of ScanU: ``C = A @ U_s`` per tile, double-buffered.
+
+    Tiles are ``rows x s`` row-major views of the input (``rows = s`` for
+    the square tiles of the 1-D kernels)."""
+
+    def __init__(
+        self,
+        ctx: KernelContext,
+        consts: ScanConstants,
+        s: int,
+        *,
+        tile_rows: "int | None" = None,
+    ):
+        self.ctx = ctx
+        self.s = s
+        self.rows = tile_rows if tile_rows is not None else s
+        if not 1 <= self.rows <= s:
+            raise ShapeError(f"tile rows must be in [1, {s}], got {self.rows}")
+        self.tile = self.rows * s
+        self.in_dt = consts.dtype
+        self.out_dt = cube_accum_dtype(consts.dtype)
+        cube = ctx.require_cube()
+        pipe = ctx.make_pipe(cube)
+        self._l0a = pipe.init_buffer(
+            buffer=BufferKind.L0A, depth=2, slot_bytes=self.tile * self.in_dt.itemsize
+        )
+        self._l0b = pipe.init_buffer(
+            buffer=BufferKind.L0B, depth=1, slot_bytes=s * s * self.in_dt.itemsize
+        )
+        self._l0c = pipe.init_buffer(
+            buffer=BufferKind.L0C, depth=2, slot_bytes=self.tile * self.out_dt.itemsize
+        )
+        # U_s stays resident in L0B for the whole kernel
+        self._u = self._l0b.alloc_tensor(self.in_dt, s * s)
+        I.data_copy(ctx, self._u, consts.u.whole(), label="load U_s")
+
+    def local_scan_tile(
+        self, gm_in: GlobalSlice, gm_out: GlobalSlice, *, label: str = ""
+    ) -> None:
+        """Emit ``gm_out = s-tile-local scans of gm_in`` via one matmul."""
+        if gm_in.length != self.tile or gm_out.length != self.tile:
+            raise ShapeError(
+                f"cube stage operates on full {self.rows}x{self.s} tiles "
+                f"({self.tile} elements), got {gm_in.length} -> {gm_out.length}"
+            )
+        ctx, s = self.ctx, self.s
+        a = self._l0a.alloc_tensor(self.in_dt, self.tile)
+        I.data_copy(ctx, a, gm_in, label=f"load x {label}")
+        c = self._l0c.alloc_tensor(self.out_dt, self.tile)
+        I.mmad(ctx, c, a, self._u, self.rows, s, s, label=f"A@U {label}")
+        self._l0a.free_tensor(a)
+        I.data_copy(ctx, gm_out, c, label=f"store C {label}")
+        self._l0c.free_tensor(c)
+
+
+class UL1CubePipeline:
+    """Cube stage of ScanUL1: Equation (1) per tile.
+
+    L0A holds the resident ``L_s^-`` plus a cycling ``x`` slot; L0B holds
+    the resident ``U_s`` plus a cycling ``1_s``/``C1`` slot — for s = 128
+    this fills both 64 KB input buffers, so the x slot cannot be
+    double-buffered (a real constraint of the hardware that shapes this
+    kernel's pipeline).
+    """
+
+    def __init__(self, ctx: KernelContext, consts: ScanConstants, s: int):
+        self.ctx = ctx
+        self.s = s
+        self.rows = consts.rows
+        self.tile = self.rows * s
+        self.in_dt = consts.dtype
+        self.out_dt = cube_accum_dtype(consts.dtype)
+        square_bytes = s * s * self.in_dt.itemsize
+        tile_bytes = self.tile * self.in_dt.itemsize
+        cube = ctx.require_cube()
+        pipe = ctx.make_pipe(cube)
+        self._l1 = pipe.init_buffer(
+            buffer=BufferKind.L1, depth=5, slot_bytes=square_bytes
+        )
+        self._l0a = pipe.init_buffer(
+            buffer=BufferKind.L0A, depth=2, slot_bytes=tile_bytes
+        )
+        self._l0b = pipe.init_buffer(
+            buffer=BufferKind.L0B, depth=2, slot_bytes=square_bytes
+        )
+        self._l0c = pipe.init_buffer(
+            buffer=BufferKind.L0C, depth=2, slot_bytes=self.tile * self.out_dt.itemsize
+        )
+
+        # Algorithm 2 line 4: constants into L1 once.
+        u_l1 = self._l1.alloc_tensor(self.in_dt, s * s)
+        I.data_copy(ctx, u_l1, consts.u.whole(), label="load U_s -> L1")
+        lm_l1 = self._l1.alloc_tensor(self.in_dt, self.rows * self.rows)
+        I.data_copy(ctx, lm_l1, consts.strict_lower.whole(), label="load L^- -> L1")
+        self._ones_l1 = self._l1.alloc_tensor(self.in_dt, s * s)
+        I.data_copy(ctx, self._ones_l1, consts.ones.whole(), label="load 1_s -> L1")
+
+        # resident L0 operands
+        self._u_l0b = self._l0b.alloc_tensor(self.in_dt, s * s)
+        I.data_copy(ctx, self._u_l0b, u_l1, label="stage U_s -> L0B")
+        self._lm_l0a = self._l0a.alloc_tensor(self.in_dt, self.rows * self.rows)
+        I.data_copy(ctx, self._lm_l0a, lm_l1, label="stage L^- -> L0A")
+
+    def scan_tile(
+        self, gm_in: GlobalSlice, gm_out: GlobalSlice, *, label: str = ""
+    ) -> None:
+        """Emit ``gm_out = inclusive scan of gm_in`` (tile-local, Eq. 1)."""
+        if gm_in.length != self.tile or gm_out.length != self.tile:
+            raise ShapeError(
+                f"cube stage operates on full {self.rows}x{self.s} tiles "
+                f"({self.tile} elements), got {gm_in.length} -> {gm_out.length}"
+            )
+        ctx, s, rows, tile = self.ctx, self.s, self.rows, self.tile
+        a = self._l0a.alloc_tensor(self.in_dt, tile)
+        I.data_copy(ctx, a, gm_in, label=f"load x {label}")
+        ones_l0b = self._l0b.alloc_tensor(self.in_dt, s * s)
+        I.data_copy(ctx, ones_l0b, self._ones_l1, label=f"stage 1_s {label}")
+
+        c1 = self._l0c.alloc_tensor(self.out_dt, tile)
+        I.mmad(ctx, c1, a, ones_l0b, rows, s, s, label=f"A@1 {label}")
+        self._l0b.free_tensor(ones_l0b)
+
+        c1_l1 = self._l1.alloc_tensor(self.in_dt, tile)
+        I.data_copy(ctx, c1_l1, c1, label=f"C1 -> L1 {label}")
+        self._l0c.free_tensor(c1)
+
+        c2 = self._l0c.alloc_tensor(self.out_dt, tile)
+        I.mmad(ctx, c2, a, self._u_l0b, rows, s, s, label=f"A@U {label}")
+        self._l0a.free_tensor(a)
+
+        c1_l0b = self._l0b.alloc_tensor(self.in_dt, tile)
+        I.data_copy(ctx, c1_l0b, c1_l1, label=f"stage C1 {label}")
+        self._l1.free_tensor(c1_l1)
+        I.mmad(
+            ctx, c2, self._lm_l0a, c1_l0b, rows, rows, s,
+            accumulate=True, label=f"C2+=L@C1 {label}",
+        )
+        self._l0b.free_tensor(c1_l0b)
+
+        I.data_copy(ctx, gm_out, c2, label=f"store C2 {label}")
+        self._l0c.free_tensor(c2)
+
+
+class VecPropagator:
+    """Vector stage: serial propagation of the running partial sum.
+
+    ``chain_s`` is the stride of the serial Adds chain within a tile: ``s``
+    after a ScanU/MCScan cube stage (the tile holds s-tile-local scans) or
+    the full tile length after a ScanUL1 cube stage (the tile is already
+    scanned; only one scalar is added).
+    """
+
+    def __init__(
+        self,
+        ctx: KernelContext,
+        vec_core,
+        tile_elements: int,
+        dtype: DType,
+        *,
+        exclusive: bool = False,
+        initial_partial: float = 0.0,
+        depth: int = 2,
+    ):
+        self.ctx = ctx
+        self.dtype = dtype
+        self.tile_elements = tile_elements
+        self.exclusive = exclusive
+        self.partial = initial_partial
+        pipe = ctx.make_pipe(vec_core)
+        self._ub = pipe.init_buffer(
+            buffer=BufferKind.UB,
+            depth=depth,
+            slot_bytes=tile_elements * dtype.itemsize,
+        )
+        self._reg = ctx.new_register()
+
+    def propagate_tile(
+        self, gm_in: GlobalSlice, gm_out: GlobalSlice, chain_s: int, *, label: str = ""
+    ) -> None:
+        """Load a tile, add the running partial through its s-tiles, store.
+
+        In exclusive mode the finished tile is shifted right by one inside
+        UB with the previous partial as carry-in, so the store stays
+        tile-aligned (no cross-block overlapping writes)."""
+        ctx = self.ctx
+        if gm_in.length != gm_out.length:
+            raise ShapeError("propagate_tile needs equal in/out lengths")
+        if gm_in.length > self.tile_elements:
+            raise ShapeError(
+                f"tile of {gm_in.length} exceeds UB slot of {self.tile_elements}"
+            )
+        tile = self._ub.alloc_tensor(self.dtype, gm_in.length)
+        I.data_copy(ctx, tile, gm_in, label=f"load y {label}")
+        carry_in = self.partial
+        self.partial = I.propagate_chain(
+            ctx, tile, chain_s, self.partial, self._reg, label=f"propagate {label}"
+        )
+        if self.exclusive:
+            arr = tile.array
+
+            def _shift() -> None:
+                arr[1:] = arr[:-1]
+                arr[0] = np.asarray(carry_in).astype(arr.dtype)
+
+            I.vector_macro(
+                ctx,
+                label=f"shift-exclusive {label}",
+                reads=(tile,),
+                writes=(tile,),
+                nbytes=tile.nbytes,
+                apply=_shift,
+            )
+        I.data_copy(ctx, gm_out, tile, label=f"store y {label}")
+        self._ub.free_tensor(tile)
+
+    def reset(self, partial: float = 0.0) -> None:
+        """Restart the serial chain (e.g. at a new row of a batch)."""
+        self.partial = partial
+        self._reg = self.ctx.new_register()
+
+
+class VecReducer:
+    """Vector stage of MCScan phase I: tile-wise reduction of the input."""
+
+    def __init__(
+        self,
+        ctx: KernelContext,
+        vec_core,
+        tile_elements: int,
+        dtype: DType,
+        *,
+        depth: int = 2,
+    ):
+        self.ctx = ctx
+        self.vec_core = vec_core
+        self.dtype = dtype
+        self.tile_elements = tile_elements
+        pipe = ctx.make_pipe(vec_core)
+        self._ub = pipe.init_buffer(
+            buffer=BufferKind.UB,
+            depth=depth,
+            slot_bytes=tile_elements * dtype.itemsize,
+        )
+        # small scratch for writing the reduction result to GM
+        self._scratch = pipe.init_buffer(
+            buffer=BufferKind.UB, depth=1, slot_bytes=64
+        )
+        self.total = 0.0
+
+    def reduce_tile(self, gm_in: GlobalSlice, *, label: str = "") -> None:
+        if gm_in.length > self.tile_elements:
+            raise ShapeError(
+                f"tile of {gm_in.length} exceeds UB slot of {self.tile_elements}"
+            )
+        tile = self._ub.alloc_tensor(self.dtype, gm_in.length)
+        I.data_copy(self.ctx, tile, gm_in, label=f"load x {label}")
+        self.total += I.reduce_sum(self.ctx, tile, label=f"reduce {label}")
+        self._ub.free_tensor(tile)
+
+    def write_total(self, gm_out: GlobalSlice, out_dtype: DType) -> None:
+        """Write the accumulated reduction to its slot of the ``r`` array."""
+        if gm_out.length != 1:
+            raise ShapeError("write_total writes exactly one element")
+        t = self._scratch.alloc_tensor(out_dtype, 1)
+        I.duplicate(self.ctx, t, self.total, label="stage r_i")
+        I.data_copy(self.ctx, gm_out, t, label="store r_i")
+        self._scratch.free_tensor(t)

@@ -1,0 +1,82 @@
+"""ScanU — Algorithm 1 of the paper (single cube + single vector core).
+
+Per ``l = s^2`` tile of the input, the cube unit computes ``C = A @ U_s``
+(``s`` consecutive local scans of ``s``-tiles, one matrix multiplication)
+and writes ``C`` to global memory; a vector core then reads the tile,
+propagates the running partial sum through its ``s``-tiles in order, and
+writes the final prefix sums back.  The whole loop is software-pipelined by
+double-buffered queues, exactly as in Figure 2 of the paper.
+
+The output dtype is the cube accumulator dtype (fp32 for fp16 inputs,
+int32 for int8): the L0C accumulator is written out unquantised, so no
+precision is lost between the two stages.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, ShapeError
+from ..hw.datatypes import cube_accum_dtype
+from ..hw.memory import GlobalTensor
+from ..lang.kernel import Kernel
+from .matrices import ScanConstants, validate_tile_size
+from .pipelines import UCubePipeline, VecPropagator
+
+__all__ = ["ScanUKernel", "validate_scan_args"]
+
+
+def validate_scan_args(
+    x: GlobalTensor, y: GlobalTensor, consts: ScanConstants, s: int, name: str
+) -> None:
+    """Shared argument validation for the single-core cube scan kernels."""
+    validate_tile_size(s)
+    ell = s * s
+    if x.num_elements % ell != 0:
+        raise ShapeError(
+            f"{name} input length {x.num_elements} must be a multiple of "
+            f"l = s^2 = {ell} (pad with zeros, Section 4)"
+        )
+    if y.num_elements != x.num_elements:
+        raise ShapeError("output length must match input length")
+    if not x.dtype.cube_input:
+        raise KernelError(f"{name} input dtype {x.dtype.name} is not cube-capable")
+    acc = cube_accum_dtype(x.dtype)
+    if y.dtype.name != acc.name:
+        raise KernelError(
+            f"{name} output dtype must be the accumulator {acc.name}, "
+            f"got {y.dtype.name}"
+        )
+    if consts.s != s or consts.dtype.name != x.dtype.name:
+        raise KernelError(
+            f"constants are for (s={consts.s}, {consts.dtype.name}), "
+            f"kernel needs (s={s}, {x.dtype.name})"
+        )
+
+
+class ScanUKernel(Kernel):
+    """Scan Cube-Vector (Algorithm 1)."""
+
+    mode = "mix"
+
+    def __init__(
+        self, x: GlobalTensor, y: GlobalTensor, consts: ScanConstants, s: int
+    ):
+        super().__init__(block_dim=1)
+        validate_scan_args(x, y, consts, s, "ScanU")
+        self.x = x
+        self.y = y
+        self.consts = consts
+        self.s = s
+
+    def run(self, ctx) -> None:
+        s = self.s
+        ell = s * s
+        n_tiles = self.x.num_elements // ell
+
+        cube = UCubePipeline(ctx, self.consts, s)
+        vec = VecPropagator(ctx, ctx.vec_core(0), ell, cube.out_dt)
+
+        for t in range(n_tiles):
+            gm_in = self.x.slice(t * ell, ell)
+            gm_out = self.y.slice(t * ell, ell)
+            cube.local_scan_tile(gm_in, gm_out, label=f"[{t}]")
+            vec.propagate_tile(gm_out, gm_out, s, label=f"[{t}]")

@@ -1,0 +1,303 @@
+"""Alternative multi-core scan strategies (paper Section 2.1).
+
+The paper positions MCScan against the classic accelerator scan
+strategies — Scan-Scan-Add (SSA), Reduce-Scan-Scan (RSS), and the
+single-pass StreamScan / decoupled-lookback family — and argues that its
+*partial recomputation* of block reductions on the vector units (overlapped
+with the cube local scans, one barrier) is the right fit for the 910B
+split architecture.  This module implements the three competitors so the
+claim can be tested head-to-head (see ``benchmarks/bench_strategies.py``):
+
+* :class:`SSAScanKernel` — Scan-Scan-Add: per-block full local scans +
+  block totals, a small scan of the totals, then a broadcast add.  Two
+  barriers; the broadcast-add phase is one vector instruction per tile.
+
+* :class:`RSSScanKernel` — Reduce-Scan-Scan: a dedicated reduction phase
+  (cube cores idle!), the small scan, then the full per-block scan with
+  the scanned bases.  Two barriers; the same GM traffic as MCScan but no
+  phase-I overlap — isolating exactly what MCScan's recomputation buys.
+
+* :class:`LookbackScanKernel` — decoupled lookback: a *single* phase with
+  no global barrier.  Each block publishes its aggregate early (computed
+  by its vector cores from the raw input, in parallel with the cube local
+  scans); later blocks read predecessors' aggregates directly from GM.
+  On GPUs this strategy also cuts traffic to 2N because one pass keeps
+  the scan in registers; on the 910B *split* architecture the cube
+  output must round-trip through GM anyway, so only the barrier saving
+  survives — an architectural observation that supports the paper's
+  choice of the SSA-like structure.
+
+All three reuse MCScan's partitioning and the shared pipeline stages, and
+all are validated against the same oracle as MCScan.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, ShapeError
+from ..hw.datatypes import cube_accum_dtype
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+from .matrices import ScanConstants, validate_tile_size
+from .mcscan import _split_half, mcscan_partition
+from .pipelines import UCubePipeline, VecPropagator, VecReducer
+
+__all__ = ["SSAScanKernel", "RSSScanKernel", "LookbackScanKernel"]
+
+
+class _StrategyBase(Kernel):
+    """Shared validation / partitioning for the strategy kernels."""
+
+    mode = "mix"
+
+    def __init__(
+        self,
+        x: GlobalTensor,
+        y: GlobalTensor,
+        r: GlobalTensor,
+        consts: ScanConstants,
+        s: int,
+        block_dim: int,
+    ):
+        super().__init__(block_dim=block_dim)
+        validate_tile_size(s)
+        ell = s * s
+        if x.num_elements % ell != 0:
+            raise ShapeError(
+                f"{type(self).__name__} input length {x.num_elements} must "
+                f"be a multiple of l = s^2 = {ell}"
+            )
+        if y.num_elements != x.num_elements:
+            raise ShapeError("output length must match input length")
+        if not x.dtype.cube_input:
+            raise KernelError(f"input dtype {x.dtype.name} is not cube-capable")
+        acc = cube_accum_dtype(x.dtype)
+        if y.dtype.name != acc.name or r.dtype.name != acc.name:
+            raise KernelError(
+                f"output and r dtypes must be the accumulator {acc.name}"
+            )
+        if consts.s != s or consts.dtype.name != x.dtype.name:
+            raise KernelError("constants do not match (s, dtype)")
+        self.x = x
+        self.y = y
+        self.r = r
+        self.consts = consts
+        self.s = s
+
+    def _check_r(self, lanes: int) -> None:
+        if self.r.num_elements < lanes:
+            raise ShapeError(
+                f"r needs {lanes} entries, got {self.r.num_elements}"
+            )
+
+    def _lanes(self, ctx):
+        """(half ranges, half id) iterator for this block."""
+        ell = self.s * self.s
+        n_tiles = self.x.num_elements // ell
+        lo, hi = mcscan_partition(n_tiles, self.block_dim)[ctx.block_idx]
+        halves = len(ctx.vector_cores)
+        for j in range(halves):
+            h_lo, h_hi = _split_half(lo, hi, j, halves)
+            yield j, ctx.block_idx * halves + j, h_lo, h_hi
+
+    def _total_lanes(self, ctx) -> int:
+        return self.block_dim * len(ctx.vector_cores)
+
+
+class SSAScanKernel(_StrategyBase):
+    """Scan-Scan-Add (Section 2.1): local full scans, scan of totals,
+    broadcast add.  Three phases, two barriers."""
+
+    def phases(self):
+        return [self.phase_local_scan, self.phase_scan_totals, self.phase_add]
+
+    # -- phase 1: full local scans per lane + lane totals -------------------
+
+    def phase_local_scan(self, ctx) -> None:
+        self._check_r(self._total_lanes(ctx))
+        s = self.s
+        ell = s * s
+        cube = UCubePipeline(ctx, self.consts, s)
+        # the cube stage covers the whole block; each vector core then
+        # chains its half into a *full* local scan and remembers the total
+        for j, lane, h_lo, h_hi in self._lanes(ctx):
+            prop = VecPropagator(ctx, ctx.vec_core(j), ell, cube.out_dt)
+            for t in range(h_lo, h_hi):
+                gm_in = self.x.slice(t * ell, ell)
+                gm_out = self.y.slice(t * ell, ell)
+                cube.local_scan_tile(gm_in, gm_out, label=f"[{t}]")
+                prop.propagate_tile(gm_out, gm_out, s, label=f"[{t}]")
+            # lane total = running partial after the local chain
+            pipe = ctx.make_pipe(ctx.vec_core(j))
+            small = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=64)
+            tot = small.alloc_tensor(self.y.dtype, 1)
+            I.duplicate(ctx, tot, prop.partial, label="lane total")
+            I.data_copy(ctx, self.r.slice(lane, 1), tot, label="store total")
+            small.free_tensor(tot)
+
+    # -- phase 2: scan of the lane totals on one vector core ----------------
+
+    def phase_scan_totals(self, ctx) -> None:
+        if ctx.block_idx != 0:
+            return
+        lanes = self._total_lanes(ctx)
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        buf = pipe.init_buffer(
+            buffer=BufferKind.UB, depth=1,
+            slot_bytes=max(lanes * self.r.dtype.itemsize, 64),
+        )
+        t = buf.alloc_tensor(self.r.dtype, lanes)
+        I.data_copy(ctx, t, self.r.slice(0, lanes), label="load totals")
+        reg = ctx.new_register()
+        # exclusive scan of the totals: shift-in a zero and chain
+        I.propagate_chain(ctx, t, 1, 0.0, reg, label="scan totals")
+        arr = t.array
+
+        def _to_exclusive() -> None:
+            arr[1:] = arr[:-1]
+            arr[0] = 0
+
+        I.vector_macro(
+            ctx, label="shift totals", reads=(t,), writes=(t,),
+            nbytes=t.nbytes, apply=_to_exclusive,
+        )
+        I.data_copy(ctx, self.r.slice(0, lanes), t, label="store scanned")
+        buf.free_tensor(t)
+
+    # -- phase 3: broadcast add -----------------------------------------------
+
+    def phase_add(self, ctx) -> None:
+        ell = self.s * self.s
+        lanes = self._total_lanes(ctx)
+        for j, lane, h_lo, h_hi in self._lanes(ctx):
+            if h_lo >= h_hi or lane == 0:
+                # lane 0 adds zero; skip its traffic entirely
+                continue
+            pipe = ctx.make_pipe(ctx.vec_core(j))
+            small = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=64)
+            base_t = small.alloc_tensor(self.r.dtype, 1)
+            I.data_copy(ctx, base_t, self.r.slice(lane, 1), label="load base")
+            base = float(base_t.array[0])
+            small.free_tensor(base_t)
+            tiles = pipe.init_buffer(
+                buffer=BufferKind.UB, depth=2,
+                slot_bytes=ell * self.y.dtype.itemsize,
+            )
+            for t in range(h_lo, h_hi):
+                gm = self.y.slice(t * ell, ell)
+                tile = tiles.alloc_tensor(self.y.dtype, ell)
+                I.data_copy(ctx, tile, gm, label=f"add in [{t}]")
+                I.adds(ctx, tile, tile, base, label=f"broadcast add [{t}]")
+                I.data_copy(ctx, gm, tile, label=f"add out [{t}]")
+                tiles.free_tensor(tile)
+
+
+class RSSScanKernel(_StrategyBase):
+    """Reduce-Scan-Scan (Section 2.1): a *separate* reduction phase in
+    which the cube cores sit idle, then the small scan, then the full
+    per-block scan seeded with the scanned bases.  The GM traffic is
+    identical to MCScan's; the difference is purely the lost phase-I
+    overlap — which is exactly the recomputation advantage the paper
+    claims for MCScan."""
+
+    def phases(self):
+        return [self.phase_reduce, self.phase_scan_totals, self.phase_scan]
+
+    def phase_reduce(self, ctx) -> None:
+        self._check_r(self._total_lanes(ctx))
+        ell = self.s * self.s
+        for j, lane, h_lo, h_hi in self._lanes(ctx):
+            reducer = VecReducer(ctx, ctx.vec_core(j), ell, self.x.dtype)
+            for t in range(h_lo, h_hi):
+                reducer.reduce_tile(self.x.slice(t * ell, ell), label=f"[{t}]")
+            reducer.write_total(self.r.slice(lane, 1), self.y.dtype)
+
+    # the totals scan is identical to SSA's
+    phase_scan_totals = SSAScanKernel.phase_scan_totals
+
+    def phase_scan(self, ctx) -> None:
+        s = self.s
+        ell = s * s
+        cube = UCubePipeline(ctx, self.consts, s)
+        lanes = self._total_lanes(ctx)
+        for j, lane, h_lo, h_hi in self._lanes(ctx):
+            if h_lo >= h_hi:
+                continue
+            pipe = ctx.make_pipe(ctx.vec_core(j))
+            small = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=64)
+            base = 0.0
+            if lane > 0:
+                base_t = small.alloc_tensor(self.r.dtype, 1)
+                I.data_copy(ctx, base_t, self.r.slice(lane, 1), label="load base")
+                base = float(base_t.array[0])
+                small.free_tensor(base_t)
+            prop = VecPropagator(
+                ctx, ctx.vec_core(j), ell, self.y.dtype, initial_partial=base
+            )
+            for t in range(h_lo, h_hi):
+                gm_in = self.x.slice(t * ell, ell)
+                gm_out = self.y.slice(t * ell, ell)
+                cube.local_scan_tile(gm_in, gm_out, label=f"[{t}]")
+                prop.propagate_tile(gm_out, gm_out, s, label=f"[{t}]")
+
+
+class LookbackScanKernel(_StrategyBase):
+    """Decoupled lookback (Section 2.1): single phase, no SyncAll.
+
+    Lane ``i`` publishes its aggregate as soon as its vector core has
+    recomputed it from the raw input; its propagation then *looks back* at
+    aggregates ``0..i-1`` (a GM read ordered behind their publishes by the
+    data dependency alone — no device-wide barrier).  The decoupling means
+    a late lane never waits for its predecessors' *propagation*, only for
+    their (early, cheap) aggregate publishes.
+    """
+
+    def phases(self):
+        return [self.phase_single]
+
+    def phase_single(self, ctx) -> None:
+        self._check_r(self._total_lanes(ctx))
+        s = self.s
+        ell = s * s
+        lanes = self._total_lanes(ctx)
+        cube = UCubePipeline(ctx, self.consts, s)
+
+        # publish aggregates first (vector units, overlapped with the cube)
+        for j, lane, h_lo, h_hi in self._lanes(ctx):
+            reducer = VecReducer(ctx, ctx.vec_core(j), ell, self.x.dtype)
+            for t in range(h_lo, h_hi):
+                reducer.reduce_tile(self.x.slice(t * ell, ell), label=f"agg [{t}]")
+            reducer.write_total(self.r.slice(lane, 1), self.y.dtype)
+
+        # cube local scans of the block's tiles
+        for j, lane, h_lo, h_hi in self._lanes(ctx):
+            for t in range(h_lo, h_hi):
+                cube.local_scan_tile(
+                    self.x.slice(t * ell, ell),
+                    self.y.slice(t * ell, ell),
+                    label=f"[{t}]",
+                )
+
+        # look back: read predecessors' aggregates, then propagate.  The GM
+        # read of r[0:lane] depends only on those lanes' publish ops.
+        for j, lane, h_lo, h_hi in self._lanes(ctx):
+            if h_lo >= h_hi:
+                continue
+            base = 0.0
+            if lane > 0:
+                pipe = ctx.make_pipe(ctx.vec_core(j))
+                small = pipe.init_buffer(
+                    buffer=BufferKind.UB, depth=1,
+                    slot_bytes=max(lane * self.r.dtype.itemsize, 64),
+                )
+                pred = small.alloc_tensor(self.r.dtype, lane)
+                I.data_copy(ctx, pred, self.r.slice(0, lane), label="lookback")
+                base = I.reduce_sum(ctx, pred, label="sum lookback")
+                small.free_tensor(pred)
+            prop = VecPropagator(
+                ctx, ctx.vec_core(j), ell, self.y.dtype, initial_partial=base
+            )
+            for t in range(h_lo, h_hi):
+                gm = self.y.slice(t * ell, ell)
+                prop.propagate_tile(gm, gm, s, label=f"[{t}]")

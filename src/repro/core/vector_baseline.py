@@ -1,0 +1,115 @@
+"""Vector-only scan baselines.
+
+:class:`CumSumKernel` models the AscendC ``CumSum`` API the paper uses as
+its single-core baseline ("a vector-only kernel that uses the CumSum
+AscendC API with CumSumInfo parameters set to 128 and 128", Section 4.1):
+each 128x128 UB tile is scanned row-serially by the microcoded CumSum
+sequence, the row offsets are then propagated by the same serial Adds
+chain the cube kernels use, and the running partial crosses tiles.  It
+never touches the cube unit.
+
+:class:`BatchedCumSumKernel` is the multi-core ``torch.cumsum`` stand-in
+for the batched comparisons (Figures 12 and 13): rows of the batch are
+distributed over all vector cores, each scanned with the same vector-only
+tile loop.
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+
+__all__ = ["CumSumKernel", "BatchedCumSumKernel", "CUMSUM_ROWS", "CUMSUM_COLS"]
+
+#: the paper sets CumSumInfo to (128, 128)
+CUMSUM_ROWS = 128
+CUMSUM_COLS = 128
+_TILE = CUMSUM_ROWS * CUMSUM_COLS
+
+
+def _scan_row_on_core(ctx, ub_queue, x, y, row_offset, row_len, reg) -> None:
+    """Vector-only scan of one contiguous row using (128, 128) UB tiles."""
+    partial = 0.0
+    off = 0
+    while off < row_len:
+        ln = min(_TILE, row_len - off)
+        if ln % CUMSUM_COLS != 0:
+            raise ShapeError(
+                f"vector baseline needs lengths padded to {CUMSUM_COLS}, "
+                f"got remainder {ln % CUMSUM_COLS}"
+            )
+        rows = ln // CUMSUM_COLS
+        tile = ub_queue.alloc_tensor(x.dtype, ln)
+        I.data_copy(ctx, tile, x.slice(row_offset + off, ln), label="load tile")
+        ub_queue.enque(tile)
+        tile = ub_queue.deque()
+        # the CumSum API: row-serial cumulative sums within the tile ...
+        I.row_cumsum_serial(ctx, tile, rows, CUMSUM_COLS, label="CumSum rows")
+        # ... then serial propagation of row offsets and the running partial
+        partial = I.propagate_chain(
+            ctx, tile, CUMSUM_COLS, partial, reg, label="propagate rows"
+        )
+        I.data_copy(ctx, y.slice(row_offset + off, ln), tile, label="store tile")
+        ub_queue.free_tensor(tile)
+        off += ln
+
+
+class CumSumKernel(Kernel):
+    """Single-vector-core CumSum baseline (Figure 3's ``vec_only``)."""
+
+    mode = "vec"
+
+    def __init__(self, x: GlobalTensor, y: GlobalTensor):
+        super().__init__(block_dim=1)
+        if x.num_elements % CUMSUM_COLS != 0:
+            raise ShapeError(
+                f"input length {x.num_elements} must be a multiple of "
+                f"{CUMSUM_COLS} (pad with zeros)"
+            )
+        if y.num_elements != x.num_elements or y.dtype.name != x.dtype.name:
+            raise ShapeError("output must match input length and dtype")
+        self.x = x
+        self.y = y
+
+    def run(self, ctx) -> None:
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        ub = pipe.init_buffer(
+            buffer=BufferKind.UB, depth=2, slot_bytes=_TILE * self.x.dtype.itemsize
+        )
+        reg = ctx.new_register()
+        _scan_row_on_core(ctx, ub, self.x, self.y, 0, self.x.num_elements, reg)
+
+
+class BatchedCumSumKernel(Kernel):
+    """Multi-core vector-only batched cumsum (``torch.cumsum`` stand-in)."""
+
+    mode = "vec"
+
+    def __init__(self, x: GlobalTensor, y: GlobalTensor, block_dim: int):
+        super().__init__(block_dim=block_dim)
+        if len(x.shape) != 2:
+            raise ShapeError(f"batched cumsum expects 2-D input, got {x.shape}")
+        if x.shape[1] % CUMSUM_COLS != 0:
+            raise ShapeError(
+                f"row length {x.shape[1]} must be a multiple of {CUMSUM_COLS}"
+            )
+        if y.shape != x.shape or y.dtype.name != x.dtype.name:
+            raise ShapeError("output must match input shape and dtype")
+        self.x = x
+        self.y = y
+
+    def run(self, ctx) -> None:
+        batch, row_len = self.x.shape
+        my_rows = range(ctx.block_idx, batch, ctx.block_dim)
+        if not my_rows:
+            return
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        ub = pipe.init_buffer(
+            buffer=BufferKind.UB, depth=2, slot_bytes=_TILE * self.x.dtype.itemsize
+        )
+        for r in my_rows:
+            reg = ctx.new_register()
+            _scan_row_on_core(ctx, ub, self.x, self.y, r * row_len, row_len, reg)

@@ -1,0 +1,49 @@
+"""Typed exception hierarchy for the repro package.
+
+Every error the simulator or the kernels can raise on misuse derives from
+:class:`ReproError`, so callers can catch the whole family in one clause
+while tests assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A device configuration is inconsistent or out of range."""
+
+
+class AllocationError(ReproError):
+    """Global- or local-memory allocation failed (out of capacity)."""
+
+
+class BufferOverflowError(AllocationError):
+    """A local tensor does not fit in its hardware buffer."""
+
+
+class DTypeError(ReproError):
+    """An operation was given operands of an unsupported dtype combination."""
+
+
+class ShapeError(ReproError):
+    """An operation was given operands with incompatible shapes."""
+
+
+class QueueError(ReproError):
+    """TQue misuse: deque before enque, exceeding depth, double free, ..."""
+
+
+class KernelError(ReproError):
+    """A kernel was launched with invalid parameters."""
+
+
+class SchedulerError(ReproError):
+    """The discrete-event scheduler reached an invalid state (deadlock,
+    dependency on an unknown op, negative duration, ...)."""
+
+
+class DeadlockError(SchedulerError):
+    """No runnable operation remains while unfinished operations exist."""

@@ -1,0 +1,51 @@
+"""Hardware substrate: the simulated Ascend 910B device.
+
+Functional + timing model of the DaVinci architecture the paper targets:
+AI cores (cube + vector), local buffers, MTEs, shared HBM with L2, and a
+discrete-event scheduler replaying kernel op DAGs.
+"""
+
+from .cache import L2Cache
+from .config import ASCEND_910B4, BufferConfig, CostConfig, DeviceConfig, MemoryConfig, toy_config
+from .datatypes import FP16, FP32, INT8, INT16, INT32, UINT16, UINT32, DType, as_dtype, cube_accum_dtype, dtype_by_name
+from .device import AscendDevice, CoreHandle, Emitter
+from .isa import CostModel, EngineKind, Op
+from .memory import GlobalMemory, GlobalSlice, GlobalTensor
+from .scheduler import Program, Timeline, simulate
+from .trace import EngineInfo, EngineStats, Trace
+
+__all__ = [
+    "ASCEND_910B4",
+    "AscendDevice",
+    "BufferConfig",
+    "CoreHandle",
+    "CostConfig",
+    "CostModel",
+    "DType",
+    "DeviceConfig",
+    "Emitter",
+    "EngineInfo",
+    "EngineKind",
+    "EngineStats",
+    "FP16",
+    "FP32",
+    "GlobalMemory",
+    "GlobalSlice",
+    "GlobalTensor",
+    "INT16",
+    "INT32",
+    "INT8",
+    "L2Cache",
+    "MemoryConfig",
+    "Op",
+    "Program",
+    "Timeline",
+    "Trace",
+    "UINT16",
+    "UINT32",
+    "as_dtype",
+    "cube_accum_dtype",
+    "dtype_by_name",
+    "simulate",
+    "toy_config",
+]

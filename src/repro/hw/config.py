@@ -1,0 +1,197 @@
+"""Device configuration for the simulated Ascend accelerator.
+
+A :class:`DeviceConfig` bundles everything the timing model needs: core
+counts, the clock, local buffer capacities, HBM/L2 characteristics and
+per-instruction overheads.  Two presets are provided:
+
+* :data:`ASCEND_910B4` — mirrors the evaluation platform of the paper
+  (20 AI cores, i.e. 20 cube cores and 40 vector cores; 800 GB/s HBM).
+* :func:`toy_config` — a tiny, fast configuration for unit tests.
+
+The calibration constants (issue overheads, link widths) were fixed once by
+matching the paper's headline ratios (see EXPERIMENTS.md) and are then used
+unchanged across all experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+
+__all__ = [
+    "BufferConfig",
+    "CostConfig",
+    "MemoryConfig",
+    "DeviceConfig",
+    "ASCEND_910B4",
+    "toy_config",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Capacities (bytes) of the per-core scratchpad buffers.
+
+    The names follow the DaVinci architecture (paper Section 3.1): the
+    vector core owns the Unified Buffer (UB); the cube core owns L1 and the
+    level-0 buffers L0A/L0B (matmul inputs) and L0C (accumulator).
+    """
+
+    ub_bytes: int = 192 * KIB
+    l1_bytes: int = 1 * MIB
+    l0a_bytes: int = 64 * KIB
+    l0b_bytes: int = 64 * KIB
+    l0c_bytes: int = 256 * KIB
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Global memory system: HBM plus a shared memory-side L2 cache."""
+
+    hbm_bandwidth_gbps: float = 800.0
+    """Peak HBM bandwidth in GB/s (910B4: 800 GB/s, paper Section 6.1)."""
+
+    l2_bandwidth_gbps: float = 800.0
+    """Aggregate L2-to-cores bandwidth in GB/s.  On the 910B the L2 mainly
+    removes DRAM inefficiency rather than exceeding the HBM path, which is
+    why the paper's copy kernel "almost approaches the theoretical limit"
+    below the L2 capacity instead of exceeding it."""
+
+    dram_efficiency: float = 0.85
+    """Fraction of peak HBM bandwidth achievable by cache-missing streams
+    (row activation, refresh and scheduling losses); L2 hits avoid it."""
+
+    l2_capacity_bytes: int = 96 * MIB
+    """L2 capacity; the copy kernel approaches peak below this size."""
+
+    l2_chunk_bytes: int = 32 * KIB
+    """Tracking granularity of the L2 residency model.  Matches the kernels'
+    tile size so a cold streaming pass does not spuriously self-warm
+    neighbouring tiles within a coarser chunk."""
+
+    gm_latency_ns: float = 150.0
+    """Fixed DMA descriptor latency per GM transfer (post-issue; partially
+    hidden by the MTE's descriptor pipelining)."""
+
+    hbm_capacity_bytes: int = 32 * GIB
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """Per-instruction cost model constants (cycles unless noted).
+
+    These encode the microarchitectural behaviour the paper's Section 4
+    reasons about: vector instructions have a fixed issue cost that
+    dominates short operations (which is why per-``s``-tile propagation in
+    ScanU is slower than per-``l``-tile propagation in ScanUL1), the cube
+    unit multiplies one 16x16x16 fp16 fractal per cycle (double rate for
+    int8), and the scalar unit processes one element per few cycles (which
+    is why the scalar-only ``masked_select`` baseline is orders of
+    magnitude slower).
+    """
+
+    vec_issue_cycles: float = 63.0
+    vec_bytes_per_cycle: float = 256.0
+    scalar_op_cycles: float = 5.0
+    mmad_issue_cycles: float = 400.0
+    """Fixed pipeline setup per Mmad instruction (decode, L0 bank arbitration,
+    accumulator readback)."""
+    mmad_fractal: int = 16
+    """Cube multiplies fractal x fractal x fractal tiles, one per cycle."""
+    mmad_efficiency: float = 0.5
+    """Sustained fraction of the cube's peak fractal rate for the small,
+    dependent matmuls of the scan kernels (no deep k-loop to amortise L0
+    accesses, unlike dense GEMM)."""
+    mmad_int8_rate: float = 2.0
+    """int8 fractal throughput multiplier relative to fp16."""
+    local_copy_bytes_per_cycle: float = 512.0
+    """L1 <-> L0 and L0C -> L1 move engines."""
+    local_copy_issue_cycles: float = 40.0
+    mte_issue_cycles: float = 60.0
+    mte_link_bytes_per_cycle: float = 256.0
+    """Per-MTE GM link width (cap on a single DMA flow)."""
+    sync_all_ns: float = 1200.0
+    """Cost of a device-wide SyncAll barrier."""
+    kernel_launch_ns: float = 2500.0
+    """Host-side launch overhead added once per kernel."""
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Full description of a simulated Ascend device."""
+
+    name: str = "ascend-910b4"
+    num_ai_cores: int = 20
+    """Number of AI cores; each has one cube core (AIC)."""
+    vector_cores_per_ai_core: int = 2
+    """910B split architecture: 2 vector cores (AIV) per AI core."""
+    clock_ghz: float = 1.8
+    buffers: BufferConfig = field(default_factory=BufferConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    costs: CostConfig = field(default_factory=CostConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_ai_cores < 1:
+            raise ConfigError("need at least one AI core")
+        if self.vector_cores_per_ai_core < 1:
+            raise ConfigError("need at least one vector core per AI core")
+        if self.clock_ghz <= 0:
+            raise ConfigError("clock must be positive")
+        if self.memory.hbm_bandwidth_gbps <= 0:
+            raise ConfigError("HBM bandwidth must be positive")
+        if self.memory.l2_bandwidth_gbps < self.memory.hbm_bandwidth_gbps:
+            raise ConfigError("L2 bandwidth must be >= HBM bandwidth")
+        if not 0.1 <= self.memory.dram_efficiency <= 1.0:
+            raise ConfigError("dram_efficiency must be in [0.1, 1.0]")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def num_cube_cores(self) -> int:
+        return self.num_ai_cores
+
+    @property
+    def num_vector_cores(self) -> int:
+        return self.num_ai_cores * self.vector_cores_per_ai_core
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one core clock cycle in nanoseconds."""
+        return 1.0 / self.clock_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles / self.clock_ghz
+
+    @property
+    def hbm_bytes_per_ns(self) -> float:
+        return self.memory.hbm_bandwidth_gbps  # GB/s == bytes/ns
+
+    @property
+    def l2_bytes_per_ns(self) -> float:
+        return self.memory.l2_bandwidth_gbps
+
+    @property
+    def mte_link_bytes_per_ns(self) -> float:
+        return self.costs.mte_link_bytes_per_cycle * self.clock_ghz
+
+    def with_cores(self, num_ai_cores: int) -> "DeviceConfig":
+        """A copy of this config with a different AI-core count."""
+        return replace(self, num_ai_cores=num_ai_cores)
+
+
+ASCEND_910B4 = DeviceConfig()
+"""The paper's evaluation platform: Ascend 910B4 (20 AIC + 40 AIV)."""
+
+
+def toy_config(num_ai_cores: int = 2) -> DeviceConfig:
+    """A small device for fast unit tests (tiny L2, two AI cores)."""
+    return DeviceConfig(
+        name="toy",
+        num_ai_cores=num_ai_cores,
+        memory=MemoryConfig(l2_capacity_bytes=2 * MIB, hbm_capacity_bytes=256 * MIB),
+    )

@@ -1,0 +1,99 @@
+"""Device data types.
+
+The Ascend cube unit supports a small set of input/accumulator dtype pairs:
+float16 inputs accumulate in float32 and int8 inputs accumulate in int32
+(Section 3.1 of the paper).  The vector unit operates on 16/32-bit types.
+This module is the single registry mapping device dtype names to NumPy
+dtypes, element sizes, and cube accumulation rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DTypeError
+
+__all__ = [
+    "DType",
+    "FP16",
+    "FP32",
+    "INT8",
+    "UINT8",
+    "INT16",
+    "UINT16",
+    "INT32",
+    "UINT32",
+    "dtype_by_name",
+    "cube_accum_dtype",
+    "as_dtype",
+]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A device-visible scalar data type.
+
+    Attributes:
+        name: canonical device name, e.g. ``"fp16"``.
+        np_dtype: the NumPy dtype used for functional simulation.
+        itemsize: element size in bytes.
+        cube_input: whether the cube unit accepts this as a matmul input.
+        vector_ok: whether the vector unit supports elementwise ops on it.
+    """
+
+    name: str
+    np_dtype: np.dtype
+    itemsize: int
+    cube_input: bool
+    vector_ok: bool
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+FP16 = DType("fp16", np.dtype(np.float16), 2, cube_input=True, vector_ok=True)
+FP32 = DType("fp32", np.dtype(np.float32), 4, cube_input=False, vector_ok=True)
+INT8 = DType("int8", np.dtype(np.int8), 1, cube_input=True, vector_ok=True)
+UINT8 = DType("uint8", np.dtype(np.uint8), 1, cube_input=False, vector_ok=True)
+INT16 = DType("int16", np.dtype(np.int16), 2, cube_input=False, vector_ok=True)
+UINT16 = DType("uint16", np.dtype(np.uint16), 2, cube_input=False, vector_ok=True)
+INT32 = DType("int32", np.dtype(np.int32), 4, cube_input=False, vector_ok=True)
+UINT32 = DType("uint32", np.dtype(np.uint32), 4, cube_input=False, vector_ok=True)
+
+_REGISTRY: dict[str, DType] = {
+    d.name: d
+    for d in (FP16, FP32, INT8, UINT8, INT16, UINT16, INT32, UINT32)
+}
+
+# Cube unit input -> accumulator pairs (paper Section 3.1: "float16 (with
+# float32 output) and int8 (with int32 output)").
+_CUBE_ACCUM: dict[str, DType] = {"fp16": FP32, "int8": INT32}
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a device dtype by its canonical name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DTypeError(f"unknown device dtype {name!r}") from None
+
+
+def as_dtype(dt: "DType | str") -> DType:
+    """Coerce a name or DType instance to a :class:`DType`."""
+    if isinstance(dt, DType):
+        return dt
+    return dtype_by_name(dt)
+
+
+def cube_accum_dtype(input_dtype: "DType | str") -> DType:
+    """Return the accumulator dtype the cube unit uses for ``input_dtype``.
+
+    Raises:
+        DTypeError: if the dtype is not a legal cube-unit input.
+    """
+    dt = as_dtype(input_dtype)
+    if not dt.cube_input:
+        raise DTypeError(f"{dt.name} is not a cube-unit input dtype")
+    return _CUBE_ACCUM[dt.name]

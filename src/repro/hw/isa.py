@@ -1,0 +1,166 @@
+"""Instruction set descriptors and the per-instruction cost model.
+
+Every action a kernel takes is lowered to an :class:`Op`:
+
+* **fixed ops** — compute instructions (MMAD, vector ops, scalar ops,
+  local buffer moves) with a duration in core cycles;
+* **flow ops** — GM transfers whose duration is determined dynamically by
+  the shared-bandwidth model in :mod:`repro.hw.hbm` (they still occupy
+  their issuing MTE engine exclusively, like a DMA descriptor in flight);
+* **barriers** — ``SyncAll`` rendezvous points.
+
+The :class:`CostModel` maps operation parameters to cycles, encoding the
+microarchitecture facts the paper's algorithm design exploits (fixed vector
+issue overhead, 16x16x16 cube fractals, int8 double rate, scalar-unit
+serialisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError, DTypeError, ShapeError
+from .config import DeviceConfig
+from .datatypes import DType, as_dtype
+
+__all__ = ["EngineKind", "Op", "CostModel", "CUBE_ENGINES", "VECTOR_ENGINES"]
+
+
+class EngineKind:
+    """Engine names within a core (string constants, not an enum, so traces
+    stay human-readable)."""
+
+    MTE_IN = "mte_in"  # GM -> local (MTE2)
+    MTE_LOCAL = "mte_local"  # L1 <-> L0 moves (MTE1) / L0C -> L1
+    CUBE = "cube"  # matrix multiply engine
+    MTE_OUT = "mte_out"  # local -> GM (MTE3 / FIXPIPE path)
+    VEC = "vec"  # SIMD vector engine
+    SCALAR = "scalar"  # scalar unit
+
+
+#: engines instantiated on each cube core (AIC)
+CUBE_ENGINES = (
+    EngineKind.MTE_IN,
+    EngineKind.MTE_LOCAL,
+    EngineKind.CUBE,
+    EngineKind.MTE_OUT,
+    EngineKind.SCALAR,
+)
+
+#: engines instantiated on each vector core (AIV)
+VECTOR_ENGINES = (
+    EngineKind.MTE_IN,
+    EngineKind.VEC,
+    EngineKind.MTE_OUT,
+    EngineKind.SCALAR,
+)
+
+
+@dataclass(slots=True)
+class Op:
+    """One scheduled hardware operation.
+
+    ``deps`` are data-hazard dependencies (op ids).  In-order issue within an
+    engine is enforced by the scheduler's per-engine queues, so ``deps`` only
+    needs to carry cross-engine edges.
+    """
+
+    op_id: int
+    engine: int
+    kind: str
+    label: str
+    deps: tuple[int, ...] = ()
+    cycles: float = 0.0
+    #: real bytes moved to/from GM (flow ops only)
+    gm_bytes: int = 0
+    #: bandwidth-weighted bytes charged to the HBM pool (L2 hits are cheaper)
+    eff_bytes: float = 0.0
+    #: fixed latency (ns) paid before a flow starts draining
+    latency_ns: float = 0.0
+    #: bytes that hit in L2 (statistics)
+    l2_hit_bytes: int = 0
+
+    @property
+    def is_flow(self) -> bool:
+        return self.gm_bytes > 0
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.kind == "barrier"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Maps instruction parameters to durations for a given device config."""
+
+    config: DeviceConfig = field(default_factory=DeviceConfig)
+
+    # -- compute instructions -------------------------------------------------
+
+    def mmad_cycles(self, m: int, k: int, n: int, dtype: "DType | str") -> float:
+        """Cycles for an ``m x k @ k x n`` matrix multiply on the cube unit.
+
+        The cube engine consumes one ``f x f x f`` fractal per cycle for
+        fp16 (f = 16) and two per cycle for int8 (paper Section 3.1).
+        """
+        dt = as_dtype(dtype)
+        if not dt.cube_input:
+            raise DTypeError(f"cube unit cannot multiply {dt.name} inputs")
+        if min(m, k, n) <= 0:
+            raise ShapeError(f"mmad dims must be positive, got {(m, k, n)}")
+        c = self.config.costs
+        f = c.mmad_fractal
+        fractals = -(-m // f) * -(-k // f) * -(-n // f)
+        rate = c.mmad_int8_rate if dt.name == "int8" else 1.0
+        return c.mmad_issue_cycles + fractals / (rate * c.mmad_efficiency)
+
+    def vector_cycles(self, nbytes: int, n_instructions: int = 1) -> float:
+        """Cycles for ``n_instructions`` vector instructions moving a total
+        of ``nbytes`` through the SIMD pipe.
+
+        The fixed issue overhead per instruction is the quantity the paper's
+        Section 4.1 insight hinges on: ScanU issues one instruction per
+        ``s``-tile while ScanUL1 issues one per ``l = s^2``-tile.
+        """
+        if nbytes < 0 or n_instructions < 1:
+            raise ConfigError("vector op needs nbytes >= 0 and >= 1 instruction")
+        c = self.config.costs
+        return n_instructions * c.vec_issue_cycles + nbytes / c.vec_bytes_per_cycle
+
+    def scalar_cycles(self, n_elements: int) -> float:
+        """Cycles for the scalar unit to touch ``n_elements`` one by one."""
+        return n_elements * self.config.costs.scalar_op_cycles
+
+    def local_copy_cycles(self, nbytes: int) -> float:
+        """Cycles for an on-core buffer-to-buffer move (L1 <-> L0, L0C -> L1)."""
+        c = self.config.costs
+        return c.local_copy_issue_cycles + nbytes / c.local_copy_bytes_per_cycle
+
+    # -- GM transfers ----------------------------------------------------------
+
+    def flow_effective_bytes(self, nbytes: int, l2_hit_bytes: int) -> float:
+        """Bandwidth-weighted bytes charged to the shared HBM pool.
+
+        L2 hits drain at the (possibly higher) L2 rate; misses additionally
+        pay the DRAM inefficiency factor (row activation/refresh losses).
+        Both are expressed as effective bytes against the single max-min-fair
+        pool whose rate is the peak HBM bandwidth.
+        """
+        if not 0 <= l2_hit_bytes <= nbytes:
+            raise ConfigError(
+                f"l2_hit_bytes {l2_hit_bytes} out of range for {nbytes}-byte flow"
+            )
+        mem = self.config.memory
+        hit_scale = mem.hbm_bandwidth_gbps / mem.l2_bandwidth_gbps
+        miss_scale = 1.0 / mem.dram_efficiency
+        return (nbytes - l2_hit_bytes) * miss_scale + l2_hit_bytes * hit_scale
+
+    def mte_fixed_ns(self) -> float:
+        """Fixed per-descriptor cost of a GM transfer (issue + DMA latency)."""
+        c = self.config.costs
+        return self.config.cycles_to_ns(c.mte_issue_cycles) + self.config.memory.gm_latency_ns
+
+    # -- conversions -------------------------------------------------------------
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return self.config.cycles_to_ns(cycles)

@@ -1,0 +1,234 @@
+"""Global memory (HBM) model.
+
+:class:`GlobalMemory` is a bump allocator over a simulated HBM address
+space.  :class:`GlobalTensor` is a handle to an allocation: it owns a NumPy
+backing array (functional state) plus a base address (for the L2 residency
+model) and a stable id (for hazard tracking in the scheduler).
+
+Kernels never touch backing arrays directly; they move data with ``DataCopy``
+intrinsics which both perform the copy and charge the timing model.  The
+host-side :meth:`GlobalTensor.write` / :meth:`GlobalTensor.to_numpy` methods
+model untimed host transfers used to set up and read back experiments, as the
+paper does around each profiled kernel invocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..errors import AllocationError, ShapeError
+from .config import DeviceConfig
+from .datatypes import DType, as_dtype
+
+__all__ = ["GlobalMemory", "GlobalTensor", "GlobalSlice"]
+
+_tensor_ids = itertools.count()
+
+
+class GlobalTensor:
+    """A named allocation in simulated global memory.
+
+    Attributes:
+        name: human-readable label (appears in traces).
+        dtype: device dtype of the elements.
+        shape: logical shape; storage is row-major over the flat view.
+        base_addr: byte address of the first element in HBM.
+    """
+
+    def __init__(self, name: str, dtype: DType, shape: tuple[int, ...], base_addr: int):
+        self.tensor_id = next(_tensor_ids)
+        self.name = name
+        self.dtype = dtype
+        self.shape = tuple(int(d) for d in shape)
+        self.base_addr = base_addr
+        self._data = np.zeros(self.shape, dtype=dtype.np_dtype)
+
+    # -- size helpers -------------------------------------------------------
+
+    @property
+    def num_elements(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.dtype.itemsize
+
+    @property
+    def flat(self) -> np.ndarray:
+        """Flat (1-D) view of the backing array."""
+        return self._data.reshape(-1)
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing array with its logical shape (device-internal use)."""
+        return self._data
+
+    # -- host-side (untimed) access ------------------------------------------
+
+    def write(self, values: np.ndarray) -> None:
+        """Host upload: overwrite the tensor contents (untimed)."""
+        arr = np.asarray(values)
+        if arr.size != self.num_elements:
+            raise ShapeError(
+                f"cannot write {arr.size} elements into tensor "
+                f"{self.name!r} of {self.num_elements} elements"
+            )
+        self._data[...] = arr.reshape(self.shape).astype(self.dtype.np_dtype)
+
+    def to_numpy(self) -> np.ndarray:
+        """Host download: a copy of the tensor contents (untimed)."""
+        return self._data.copy()
+
+    # -- device-side addressing ----------------------------------------------
+
+    def slice(self, offset: int, length: int) -> "GlobalSlice":
+        """A contiguous element range ``[offset, offset + length)`` of the
+        flat view, as seen by a DataCopy."""
+        return GlobalSlice(self, offset, length)
+
+    def whole(self) -> "GlobalSlice":
+        return GlobalSlice(self, 0, self.num_elements)
+
+    def prefix(self, length: int) -> "GlobalTensor":
+        """A same-backing tensor handle over the first ``length`` elements.
+
+        Kernels validate against ``num_elements``; operators that shrink
+        their working set (e.g. quickselect) pass prefix handles so kernels
+        and the cache/hazard models see the true footprint.  The handle
+        shares the backing storage, address and tensor id."""
+        if not 0 < length <= self.num_elements:
+            raise ShapeError(
+                f"prefix length {length} out of range for {self.num_elements}"
+            )
+        view = GlobalTensor.__new__(GlobalTensor)
+        view.tensor_id = self.tensor_id
+        view.name = f"{self.name}[:{length}]"
+        view.dtype = self.dtype
+        view.shape = (length,)
+        view.base_addr = self.base_addr
+        view._data = self.flat[:length]
+        return view
+
+    def row(self, i: int) -> "GlobalSlice":
+        """Row ``i`` of a 2-D tensor as a contiguous slice."""
+        if len(self.shape) != 2:
+            raise ShapeError(f"row() requires a 2-D tensor, got shape {self.shape}")
+        rows, cols = self.shape
+        if not 0 <= i < rows:
+            raise ShapeError(f"row {i} out of range for shape {self.shape}")
+        return GlobalSlice(self, i * cols, cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalTensor({self.name!r}, {self.dtype.name}, shape={self.shape})"
+
+
+class GlobalSlice:
+    """A contiguous element range of a :class:`GlobalTensor`."""
+
+    __slots__ = ("tensor", "offset", "length")
+
+    def __init__(self, tensor: GlobalTensor, offset: int, length: int):
+        offset = int(offset)
+        length = int(length)
+        if offset < 0 or length < 0 or offset + length > tensor.num_elements:
+            raise ShapeError(
+                f"slice [{offset}, {offset + length}) out of bounds for "
+                f"tensor {tensor.name!r} with {tensor.num_elements} elements"
+            )
+        self.tensor = tensor
+        self.offset = offset
+        self.length = length
+
+    @property
+    def dtype(self) -> DType:
+        return self.tensor.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * self.tensor.dtype.itemsize
+
+    @property
+    def byte_start(self) -> int:
+        """Absolute HBM byte address of the first element."""
+        return self.tensor.base_addr + self.offset * self.tensor.dtype.itemsize
+
+    @property
+    def array(self) -> np.ndarray:
+        """NumPy view of the slice (functional state)."""
+        return self.tensor.flat[self.offset : self.offset + self.length]
+
+    def sub(self, offset: int, length: int) -> "GlobalSlice":
+        """A sub-range relative to this slice."""
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise ShapeError(
+                f"sub-slice [{offset}, {offset + length}) out of bounds for "
+                f"slice of length {self.length}"
+            )
+        return GlobalSlice(self.tensor, self.offset + offset, length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GlobalSlice({self.tensor.name!r}[{self.offset}:"
+            f"{self.offset + self.length}])"
+        )
+
+
+class GlobalMemory:
+    """Bump allocator over the simulated HBM address space."""
+
+    #: allocations are aligned to 512 bytes, matching DMA burst alignment
+    ALIGN = 512
+
+    def __init__(self, config: DeviceConfig):
+        self.config = config
+        self.capacity = config.memory.hbm_capacity_bytes
+        self._next_addr = 0
+        self._tensors: list[GlobalTensor] = []
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next_addr
+
+    @property
+    def tensors(self) -> tuple[GlobalTensor, ...]:
+        return tuple(self._tensors)
+
+    def alloc(
+        self, name: str, shape: "tuple[int, ...] | int", dtype: "DType | str"
+    ) -> GlobalTensor:
+        """Allocate a global tensor; contents are zero-initialised."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        dt = as_dtype(dtype)
+        nbytes = int(np.prod(shape)) * dt.itemsize if shape else dt.itemsize
+        aligned = -(-max(nbytes, 1) // self.ALIGN) * self.ALIGN
+        if self._next_addr + aligned > self.capacity:
+            raise AllocationError(
+                f"HBM out of capacity allocating {nbytes} bytes for {name!r} "
+                f"({self._next_addr} of {self.capacity} bytes used)"
+            )
+        tensor = GlobalTensor(name, dt, shape, self._next_addr)
+        self._next_addr += aligned
+        self._tensors.append(tensor)
+        return tensor
+
+    def reset(self) -> None:
+        """Release all allocations (used between experiment runs)."""
+        self._next_addr = 0
+        self._tensors.clear()
+
+    def mark(self) -> tuple[int, int]:
+        """Snapshot the allocator state (stack discipline)."""
+        return (self._next_addr, len(self._tensors))
+
+    def release(self, mark: tuple[int, int]) -> None:
+        """Free every allocation made since ``mark`` (their handles become
+        invalid).  Lets experiment loops reuse HBM without disturbing
+        long-lived tensors such as the scan constant matrices."""
+        addr, count = mark
+        if addr > self._next_addr or count > len(self._tensors):
+            raise AllocationError("release() with a stale or foreign mark")
+        self._next_addr = addr
+        del self._tensors[count:]

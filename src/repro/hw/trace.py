@@ -1,0 +1,159 @@
+"""Execution traces and derived statistics.
+
+A :class:`Trace` couples the op list of a kernel run with its simulated
+timeline.  From it we derive everything the paper reports: total time,
+bytes moved (split by HBM vs L2), achieved bandwidth, and per-engine busy
+time / utilisation.  A Chrome-trace JSON export is provided for visual
+inspection of kernel pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .config import DeviceConfig
+from .isa import EngineKind, Op
+from .scheduler import Timeline
+
+__all__ = ["EngineInfo", "Trace", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Identity of one engine instance on the device."""
+
+    engine_id: int
+    core_kind: str  # "aic" or "aiv"
+    core_index: int
+    engine_kind: str  # one of EngineKind.*
+
+    @property
+    def label(self) -> str:
+        return f"{self.core_kind}{self.core_index}.{self.engine_kind}"
+
+
+@dataclass
+class EngineStats:
+    """Aggregate statistics for one engine over a run."""
+
+    info: EngineInfo
+    busy_ns: float = 0.0
+    op_count: int = 0
+
+    def utilization(self, total_ns: float) -> float:
+        return self.busy_ns / total_ns if total_ns > 0 else 0.0
+
+
+@dataclass
+class Trace:
+    """Ops + timeline of one simulated kernel run."""
+
+    ops: list[Op]
+    timeline: Timeline
+    engines: list[EngineInfo]
+    config: DeviceConfig
+    label: str = "kernel"
+    #: host-side launch overhead included in total_ns but not in any op span
+    launch_ns: float = 0.0
+    _engine_stats: "list[EngineStats] | None" = field(default=None, repr=False)
+
+    # -- headline numbers ------------------------------------------------------
+
+    @property
+    def total_ns(self) -> float:
+        return self.timeline.total_ns + self.launch_ns
+
+    @property
+    def device_ns(self) -> float:
+        """Device-only time (excludes host launch overhead)."""
+        return self.timeline.total_ns
+
+    # -- traffic accounting ----------------------------------------------------
+
+    def gm_bytes(self) -> int:
+        """Total bytes moved between cores and GM (both directions)."""
+        return sum(op.gm_bytes for op in self.ops)
+
+    def gm_read_bytes(self) -> int:
+        return sum(
+            op.gm_bytes
+            for op in self.ops
+            if self.engines[op.engine].engine_kind == EngineKind.MTE_IN
+        )
+
+    def gm_write_bytes(self) -> int:
+        return sum(
+            op.gm_bytes
+            for op in self.ops
+            if self.engines[op.engine].engine_kind == EngineKind.MTE_OUT
+        )
+
+    def l2_hit_bytes(self) -> int:
+        return sum(op.l2_hit_bytes for op in self.ops)
+
+    def l2_hit_ratio(self) -> float:
+        total = self.gm_bytes()
+        return self.l2_hit_bytes() / total if total else 0.0
+
+    # -- engine statistics -------------------------------------------------------
+
+    def engine_stats(self) -> list[EngineStats]:
+        if self._engine_stats is None:
+            stats = [EngineStats(info) for info in self.engines]
+            for op in self.ops:
+                s, f = self.timeline.span(op.op_id)
+                stats[op.engine].busy_ns += max(0.0, f - s)
+                stats[op.engine].op_count += 1
+            self._engine_stats = stats
+        return self._engine_stats
+
+    def busiest_engine(self) -> EngineStats:
+        return max(self.engine_stats(), key=lambda s: s.busy_ns)
+
+    def op_count_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for op in self.ops:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    # -- export --------------------------------------------------------------------
+
+    def to_chrome_trace(self) -> str:
+        """Chrome ``chrome://tracing`` / Perfetto-compatible JSON."""
+        events = []
+        for op in self.ops:
+            s, f = self.timeline.span(op.op_id)
+            info = self.engines[op.engine]
+            events.append(
+                {
+                    "name": op.label or op.kind,
+                    "cat": op.kind,
+                    "ph": "X",
+                    "ts": s / 1e3,  # chrome trace uses microseconds
+                    "dur": max(f - s, 0.0) / 1e3,
+                    "pid": info.core_kind + str(info.core_index),
+                    "tid": info.engine_kind,
+                    "args": {"gm_bytes": op.gm_bytes, "cycles": op.cycles},
+                }
+            )
+        return json.dumps({"traceEvents": events})
+
+    def summary(self) -> str:
+        """Human-readable one-run summary (used by examples)."""
+        lines = [
+            f"trace: {self.label}",
+            f"  total time      : {self.total_ns / 1e3:10.2f} us "
+            f"(device {self.device_ns / 1e3:.2f} us + launch {self.launch_ns / 1e3:.2f} us)",
+            f"  ops             : {len(self.ops)}",
+            f"  GM traffic      : {self.gm_bytes() / 1e6:10.3f} MB "
+            f"(read {self.gm_read_bytes() / 1e6:.3f} MB, "
+            f"write {self.gm_write_bytes() / 1e6:.3f} MB, "
+            f"L2 hit ratio {self.l2_hit_ratio():.0%})",
+        ]
+        busiest = self.busiest_engine()
+        lines.append(
+            f"  busiest engine  : {busiest.info.label} "
+            f"({busiest.utilization(self.device_ns):.0%} busy, {busiest.op_count} ops)"
+        )
+        return "\n".join(lines)

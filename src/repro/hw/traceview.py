@@ -1,0 +1,99 @@
+"""ASCII timeline rendering of kernel traces.
+
+Complements the Chrome-trace export with something that works in a
+terminal: one row per engine, one column per time bucket, a glyph per op
+kind.  Useful for eyeballing pipeline overlap (double buffering, the
+MCScan phase structure) without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .isa import EngineKind
+from .trace import Trace
+
+__all__ = ["render_timeline", "KIND_GLYPHS"]
+
+#: glyph per op kind (dominant kind wins a bucket)
+KIND_GLYPHS = {
+    "mte_in": "v",
+    "mte_out": "^",
+    "mte_local": "-",
+    "mmad": "M",
+    "vec": "x",
+    "vec_chain": "c",
+    "vec_macro": "m",
+    "scalar": "s",
+    "barrier": "|",
+}
+
+
+def render_timeline(
+    trace: Trace,
+    *,
+    width: int = 100,
+    max_engines: int = 24,
+    include_idle_engines: bool = False,
+) -> str:
+    """Render the trace as an ASCII timeline.
+
+    Args:
+        trace: a finished kernel trace.
+        width: number of time buckets (columns).
+        max_engines: cap on rows (busiest engines win).
+        include_idle_engines: show engines with no ops at all.
+    """
+    total = trace.device_ns
+    if total <= 0 or not trace.ops:
+        return "(empty trace)"
+    bucket_ns = total / width
+
+    # per-engine, per-bucket: busy time per kind
+    rows: dict[int, list[dict]] = defaultdict(
+        lambda: [defaultdict(float) for _ in range(width)]
+    )
+    busy: dict[int, float] = defaultdict(float)
+    for op in trace.ops:
+        s, f = trace.timeline.span(op.op_id)
+        busy[op.engine] += max(f - s, 0.0)
+        b0 = min(int(s / bucket_ns), width - 1)
+        b1 = min(int(max(f - 1e-9, s) / bucket_ns), width - 1)
+        for b in range(b0, b1 + 1):
+            lo = max(s, b * bucket_ns)
+            hi = min(f, (b + 1) * bucket_ns)
+            if hi > lo or s == f:
+                rows[op.engine][b][op.kind] += max(hi - lo, 1e-9)
+
+    engine_ids = sorted(rows, key=lambda e: -busy[e])[:max_engines]
+    if include_idle_engines:
+        engine_ids = [e for e in range(len(trace.engines)) if e in rows][
+            :max_engines
+        ]
+    engine_ids.sort()
+
+    label_w = max(
+        (len(trace.engines[e].label) for e in engine_ids), default=8
+    )
+    lines = [
+        f"timeline: {trace.label}  ({total / 1e3:.2f} us device time, "
+        f"{bucket_ns:.1f} ns/col)",
+    ]
+    for e in engine_ids:
+        cells = []
+        for b in range(width):
+            kinds = rows[e][b]
+            if not kinds:
+                cells.append(".")
+            else:
+                dominant = max(kinds.items(), key=lambda kv: kv[1])[0]
+                cells.append(KIND_GLYPHS.get(dominant, "?"))
+        lines.append(f"{trace.engines[e].label:>{label_w}s} {''.join(cells)}")
+    legend = "  ".join(f"{g}={k}" for k, g in KIND_GLYPHS.items())
+    lines.append(f"legend: {legend}  .=idle")
+    if len(rows) > len(engine_ids):
+        lines.append(
+            f"({len(rows) - len(engine_ids)} more engines hidden; "
+            f"raise max_engines to see them)"
+        )
+    return "\n".join(lines)

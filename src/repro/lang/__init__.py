@@ -1,0 +1,18 @@
+"""AscendC-style programming model: tensors, queues, context, intrinsics."""
+
+from . import intrinsics
+from .context import KernelContext
+from .kernel import Kernel
+from .queues import TPipe, TQue
+from .tensor import BufferKind, Hazard, LocalTensor
+
+__all__ = [
+    "BufferKind",
+    "Hazard",
+    "Kernel",
+    "KernelContext",
+    "LocalTensor",
+    "TPipe",
+    "TQue",
+    "intrinsics",
+]

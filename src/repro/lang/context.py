@@ -1,0 +1,84 @@
+"""Kernel execution context.
+
+A :class:`KernelContext` is handed to each kernel phase, once per block.
+It identifies the block's cores (one cube core and two vector cores in
+"mix" mode on the 910B split architecture; one vector core in "vec" mode),
+provides TPipe construction against the device's buffer budgets, and routes
+intrinsic calls to the op emitter.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError
+from ..hw.device import AscendDevice, CoreHandle, Emitter
+from .queues import TPipe
+from .tensor import Hazard
+
+__all__ = ["KernelContext"]
+
+
+class KernelContext:
+    """Per-block, per-phase view of the device."""
+
+    def __init__(
+        self,
+        *,
+        device: AscendDevice,
+        emitter: Emitter,
+        block_idx: int,
+        block_dim: int,
+        mode: str,
+    ):
+        self.device = device
+        self.emitter = emitter
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.mode = mode
+        self.config = device.config
+        self.costs = device.costs
+
+        if mode == "mix":
+            self.cube_core: "CoreHandle | None" = CoreHandle("aic", block_idx)
+            ratio = device.config.vector_cores_per_ai_core
+            self.vector_cores = tuple(
+                CoreHandle("aiv", block_idx * ratio + j) for j in range(ratio)
+            )
+        elif mode == "vec":
+            self.cube_core = None
+            self.vector_cores = (CoreHandle("aiv", block_idx),)
+        else:  # pragma: no cover - guarded by device.launch
+            raise KernelError(f"unknown mode {mode!r}")
+
+    # -- core / engine access ----------------------------------------------------
+
+    def vec_core(self, i: int = 0) -> CoreHandle:
+        """The block's ``i``-th vector core."""
+        try:
+            return self.vector_cores[i]
+        except IndexError:
+            raise KernelError(
+                f"block has {len(self.vector_cores)} vector cores, asked for #{i}"
+            ) from None
+
+    def require_cube(self) -> CoreHandle:
+        if self.cube_core is None:
+            raise KernelError("this kernel mode has no cube core")
+        return self.cube_core
+
+    def engine(self, core: CoreHandle, engine_kind: str) -> int:
+        return self.device.engine_id(core, engine_kind)
+
+    # -- resources ------------------------------------------------------------------
+
+    def make_pipe(self, core: CoreHandle) -> TPipe:
+        """A TPipe owning ``core``'s local buffers for this phase."""
+        return TPipe(
+            core_kind=core.kind,
+            core_index=core.index,
+            buffers=self.config.buffers,
+        )
+
+    def new_register(self) -> Hazard:
+        """A hazard record for a scalar carried across loop iterations
+        (e.g. the running ``partial`` of Algorithms 1-3)."""
+        return Hazard()

@@ -1,0 +1,39 @@
+"""Kernel base class and launch helpers.
+
+A kernel is a Python object describing an AscendC operator: a ``mode``
+("mix" blocks own one cube core + the AI core's vector cores; "vec" blocks
+own a single vector core), a ``block_dim``, and one or more *phases*.
+Phases are separated by device-wide ``SyncAll`` barriers, exactly like the
+two phases of the multi-core scan (Algorithm 3).  Within a phase, the
+kernel body runs once per block.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import KernelError
+from .context import KernelContext
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """Base class for simulated AscendC operators."""
+
+    #: "mix" (cube + vector cores per block) or "vec" (one vector core)
+    mode: str = "mix"
+
+    def __init__(self, block_dim: int):
+        if block_dim < 1:
+            raise KernelError(f"block_dim must be >= 1, got {block_dim}")
+        self.block_dim = block_dim
+
+    def phases(self) -> "list[Callable[[KernelContext], None]]":
+        """Phase list; override for multi-phase kernels (SyncAll between)."""
+        return [self.run]
+
+    def run(self, ctx: KernelContext) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement run() or override phases()"
+        )

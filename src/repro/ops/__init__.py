@@ -1,0 +1,44 @@
+"""Scan-based operators (paper Section 5): split, compress, radix sort,
+top-k, top-p (nucleus) sampling, and weighted sampling, plus the baselines
+the paper compares against."""
+
+from .compress import CompressKernel, MaskedSelectBaselineKernel
+from .driver import MULTINOMIAL_MAX_SUPPORT, AscendOps
+from .elementwise import ElementwiseMapKernel, PredicateCountKernel, RangeCopyKernel
+from .radix_select import CountMatchKernel
+from .radix import (
+    DecodeFp16Kernel,
+    EncodeFp16Kernel,
+    RadixSingleKernel,
+    decode_fp16_np,
+    encode_fp16_np,
+)
+from .result import OperatorResult
+from .sampling import MultinomialTwoPassKernel
+from .sort_baseline import BaselineSortKernel
+from .split import SplitIndKernel
+from .topk_baseline import BaselineTopKKernel
+from .topp import TOPP_BACKENDS, TopPSampler
+
+__all__ = [
+    "AscendOps",
+    "CountMatchKernel",
+    "BaselineSortKernel",
+    "BaselineTopKKernel",
+    "CompressKernel",
+    "DecodeFp16Kernel",
+    "ElementwiseMapKernel",
+    "EncodeFp16Kernel",
+    "MaskedSelectBaselineKernel",
+    "MULTINOMIAL_MAX_SUPPORT",
+    "MultinomialTwoPassKernel",
+    "OperatorResult",
+    "PredicateCountKernel",
+    "RangeCopyKernel",
+    "RadixSingleKernel",
+    "SplitIndKernel",
+    "TOPP_BACKENDS",
+    "TopPSampler",
+    "decode_fp16_np",
+    "encode_fp16_np",
+]

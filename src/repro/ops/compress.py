@@ -1,0 +1,178 @@
+"""Compress / compact (``torch.masked_select`` equivalent).
+
+"Compress is a particular case of split in which only the first part of the
+output elements of the split are returned.  We have implemented a compress
+kernel that internally uses the exclusive MCScan algorithm on the mask
+array whose data type is 8-bit integers." (paper Section 5)
+
+The baseline is the unoptimised device ``masked_select``: "a code
+investigation reveals that the baseline does not use the vector or cube
+units" (Section 6.2) — modelled as scalar-unit element-at-a-time processing
+on a single core.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, ShapeError
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+from ..core.matrices import ScanConstants
+from ..core.mcscan import MCScanKernel, mcscan_partition, _split_half
+
+__all__ = ["CompressKernel", "MaskedSelectBaselineKernel", "COMPRESS_TILE"]
+
+#: elements per gather tile of the compress gather phase
+COMPRESS_TILE = 8192
+
+
+class CompressKernel(Kernel):
+    """Masked compaction via exclusive int8 MCScan + GatherMask."""
+
+    mode = "mix"
+
+    def __init__(
+        self,
+        x: GlobalTensor,
+        mask: GlobalTensor,
+        scan: GlobalTensor,
+        r: GlobalTensor,
+        consts: ScanConstants,
+        s: int,
+        block_dim: int,
+        out_values: GlobalTensor,
+    ):
+        super().__init__(block_dim=block_dim)
+        n = x.num_elements
+        if mask.num_elements != n or scan.num_elements != n:
+            raise ShapeError("values, mask and scan arrays must share a length")
+        if out_values.num_elements < n:
+            raise ShapeError("compress output must hold up to n elements")
+        if mask.dtype.name != "int8":
+            raise KernelError(
+                f"compress masks are stored in int8, got {mask.dtype.name}"
+            )
+        if out_values.dtype.name != x.dtype.name:
+            raise KernelError("output dtype must match input")
+        self.x = x
+        self.mask = mask
+        self.out_values = out_values
+        self.s = s
+        self.count = 0  # number of selected elements, set by the gather phase
+        self.mc = MCScanKernel(mask, scan, r, consts, s, block_dim, exclusive=True)
+
+    def phases(self):
+        return [self.mc.phase1, self.mc.phase2, self.gather_phase]
+
+    def gather_phase(self, ctx) -> None:
+        n = self.x.num_elements
+        scan = self.mc.y
+        ell = self.s * self.s
+        n_tiles = n // ell
+        lo, hi = mcscan_partition(n_tiles, self.block_dim)[ctx.block_idx]
+        halves = len(ctx.vector_cores)
+
+        for j in range(halves):
+            h_lo, h_hi = _split_half(lo, hi, j, halves)
+            if h_lo >= h_hi:
+                continue
+            pipe = ctx.make_pipe(ctx.vec_core(j))
+            g = COMPRESS_TILE
+            esz = self.x.dtype.itemsize
+            q_vals = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=g * esz)
+            q_mask = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=g)
+            q_out = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=g * esz)
+            q_small = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=64)
+
+            off = h_lo * ell
+            end = h_hi * ell
+            while off < end:
+                ln = min(g, end - off)
+                base_t = q_small.alloc_tensor(scan.dtype, 1)
+                I.data_copy(ctx, base_t, scan.slice(off, 1), label="tile offset")
+                base = int(base_t.array[0])
+                q_small.free_tensor(base_t)
+
+                vals = q_vals.alloc_tensor(self.x.dtype, ln)
+                I.data_copy(ctx, vals, self.x.slice(off, ln), label="load x")
+                m = q_mask.alloc_tensor("int8", ln)
+                I.data_copy(ctx, m, self.mask.slice(off, ln), label="load mask")
+                out = q_out.alloc_tensor(self.x.dtype, ln)
+                cnt = I.gather_mask(ctx, out, vals, m, label="gather")
+                if cnt:
+                    I.data_copy(
+                        ctx,
+                        self.out_values.slice(base, cnt),
+                        out.view(0, cnt),
+                        label="store",
+                    )
+                self.count = max(self.count, base + cnt)
+                q_out.free_tensor(out)
+                q_mask.free_tensor(m)
+                q_vals.free_tensor(vals)
+                off += ln
+
+
+class MaskedSelectBaselineKernel(Kernel):
+    """The unoptimised ``torch.masked_select`` baseline: a single core's
+    scalar unit walks the array element by element (it uses neither the
+    vector nor the cube units, as the paper's code investigation found)."""
+
+    mode = "vec"
+
+    #: elements per scalar-processing chunk (bounded by UB staging)
+    CHUNK = 8192
+
+    def __init__(self, x: GlobalTensor, mask: GlobalTensor, out: GlobalTensor):
+        super().__init__(block_dim=1)
+        if mask.num_elements != x.num_elements:
+            raise ShapeError("mask length must match input")
+        if out.num_elements < x.num_elements:
+            raise ShapeError("output must hold up to n elements")
+        self.x = x
+        self.mask = mask
+        self.out = out
+        self.count = 0
+
+    def run(self, ctx) -> None:
+        core = ctx.vec_core(0)
+        n = self.x.num_elements
+        x_flat = self.x.flat
+        m_flat = self.mask.flat
+        out_flat = self.out.flat
+        write_pos = 0
+        off = 0
+        while off < n:
+            ln = min(self.CHUNK, n - off)
+            sel = x_flat[off : off + ln][m_flat[off : off + ln] != 0]
+            cnt = int(sel.size)
+            if cnt:
+                out_flat[write_pos : write_pos + cnt] = sel
+            # the scalar unit performs ~3 operations per element (load value,
+            # test mask, conditional store); GM traffic is charged per chunk
+            I.scalar_process(
+                ctx,
+                core,
+                3 * ln,
+                label="masked_select chunk",
+                gm_read=self.x.slice(off, ln),
+            )
+            I.scalar_process(
+                ctx,
+                core,
+                0,
+                label="masked_select mask",
+                gm_read=self.mask.slice(off, ln),
+            )
+            if cnt:
+                I.scalar_process(
+                    ctx,
+                    core,
+                    0,
+                    label="masked_select store",
+                    gm_write=self.out.slice(write_pos, cnt),
+                )
+            write_pos += cnt
+            off += ln
+        self.count = write_pos

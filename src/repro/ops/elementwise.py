@@ -1,0 +1,232 @@
+"""Generic elementwise / predicate vector kernels.
+
+Small building blocks used by the composite operators:
+
+* :class:`ElementwiseMapKernel` — a tiled multi-core map (negation,
+  scaling, ...) whose cost is a configurable number of vector instructions
+  per tile;
+* :class:`PredicateCountKernel` — compares every element against a scalar,
+  writes the int8 mask, and writes per-core true-counts to a small GM
+  array.  This is the device-side "find the cut position" step of top-p
+  sampling and inverse-transform weighted sampling (the position equals the
+  count for a monotone predicate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import KernelError, ShapeError
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+
+__all__ = ["ElementwiseMapKernel", "PredicateCountKernel", "RangeCopyKernel"]
+
+_TILE = 16384
+
+
+class ElementwiseMapKernel(Kernel):
+    """``y = fn(x)`` tiled over all participating vector cores."""
+
+    mode = "vec"
+
+    def __init__(
+        self,
+        x: GlobalTensor,
+        y: GlobalTensor,
+        fn: "Callable[[np.ndarray], np.ndarray]",
+        block_dim: int,
+        *,
+        n_instructions: int = 1,
+        label: str = "map",
+    ):
+        super().__init__(block_dim=block_dim)
+        if y.num_elements != x.num_elements:
+            raise ShapeError("map output length must match input")
+        self.x = x
+        self.y = y
+        self.fn = fn
+        self.n_instructions = n_instructions
+        self.label = label
+
+    def run(self, ctx) -> None:
+        n = self.x.num_elements
+        n_tiles = -(-n // _TILE)
+        per_block = -(-n_tiles // self.block_dim) * _TILE
+        start = ctx.block_idx * per_block
+        end = min(start + per_block, n)
+        if start >= end:
+            return
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        q_in = pipe.init_buffer(
+            buffer=BufferKind.UB, depth=2, slot_bytes=_TILE * self.x.dtype.itemsize
+        )
+        q_out = pipe.init_buffer(
+            buffer=BufferKind.UB, depth=2, slot_bytes=_TILE * self.y.dtype.itemsize
+        )
+        off = start
+        while off < end:
+            ln = min(_TILE, end - off)
+            t = q_in.alloc_tensor(self.x.dtype, ln)
+            I.data_copy(ctx, t, self.x.slice(off, ln), label=f"{self.label} in")
+            out = q_out.alloc_tensor(self.y.dtype, ln)
+            src, dst, fn, out_dt = t.array, out.array, self.fn, self.y.dtype.np_dtype
+
+            def _apply() -> None:
+                dst[...] = np.asarray(fn(src)).astype(out_dt)
+
+            I.vector_macro(
+                ctx,
+                label=self.label,
+                reads=(t,),
+                writes=(out,),
+                nbytes=max(t.nbytes, out.nbytes) * self.n_instructions,
+                n_instructions=self.n_instructions,
+                apply=_apply,
+            )
+            I.data_copy(ctx, self.y.slice(off, ln), out, label=f"{self.label} out")
+            q_out.free_tensor(out)
+            q_in.free_tensor(t)
+            off += ln
+
+
+class PredicateCountKernel(Kernel):
+    """``mask = x <op> scalar`` plus per-block true counts.
+
+    For a monotone predicate over a monotone array (e.g. ``cumsum <= theta``)
+    the total count *is* the cut position, so summing the small per-block
+    count array yields the sampled index / nucleus size without another full
+    scan.
+    """
+
+    mode = "vec"
+
+    def __init__(
+        self,
+        x: GlobalTensor,
+        mask: GlobalTensor,
+        counts: GlobalTensor,
+        op: str,
+        scalar: float,
+        block_dim: int,
+    ):
+        super().__init__(block_dim=block_dim)
+        if mask.num_elements != x.num_elements:
+            raise ShapeError("mask length must match input")
+        if mask.dtype.name != "int8":
+            raise KernelError("predicate mask must be int8")
+        if counts.num_elements < block_dim or counts.dtype.name != "int32":
+            raise KernelError("counts must be int32 with one entry per block")
+        self.x = x
+        self.mask = mask
+        self.counts = counts
+        self.op = op
+        self.scalar = scalar
+
+    def run(self, ctx) -> None:
+        n = self.x.num_elements
+        n_tiles = -(-n // _TILE)
+        per_block = -(-n_tiles // self.block_dim) * _TILE
+        start = ctx.block_idx * per_block
+        end = min(start + per_block, n)
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        q_in = pipe.init_buffer(
+            buffer=BufferKind.UB, depth=2, slot_bytes=_TILE * self.x.dtype.itemsize
+        )
+        q_mask = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=_TILE)
+        q_small = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=64)
+        total = 0.0
+        off = start
+        while off < end:
+            ln = min(_TILE, end - off)
+            t = q_in.alloc_tensor(self.x.dtype, ln)
+            I.data_copy(ctx, t, self.x.slice(off, ln), label="pred in")
+            m = q_mask.alloc_tensor("int8", ln)
+            I.compare_scalar(ctx, m, t, self.op, self.scalar, label="pred cmp")
+            total += I.reduce_sum(ctx, m, label="pred count")
+            I.data_copy(ctx, self.mask.slice(off, ln), m, label="pred out")
+            q_mask.free_tensor(m)
+            q_in.free_tensor(t)
+            off += ln
+        c = q_small.alloc_tensor("int32", 1)
+        I.duplicate(ctx, c, total, label="stage count")
+        I.data_copy(ctx, self.counts.slice(ctx.block_idx, 1), c, label="store count")
+        q_small.free_tensor(c)
+
+
+class RangeCopyKernel(Kernel):
+    """Copy (and optionally map) ``src[offset : offset+length]`` into
+    ``dst[:length]``; used by quickselect's segment compaction."""
+
+    mode = "vec"
+
+    def __init__(
+        self,
+        src: GlobalTensor,
+        dst: GlobalTensor,
+        offset: int,
+        length: int,
+        block_dim: int,
+        *,
+        fn: "Callable[[np.ndarray], np.ndarray] | None" = None,
+        label: str = "range copy",
+    ):
+        super().__init__(block_dim=block_dim)
+        if offset < 0 or length <= 0 or offset + length > src.num_elements:
+            raise ShapeError(
+                f"range [{offset}, {offset + length}) out of bounds for "
+                f"source of {src.num_elements} elements"
+            )
+        if dst.num_elements < length:
+            raise ShapeError("destination too small for the copied range")
+        self.src = src
+        self.dst = dst
+        self.offset = offset
+        self.length = length
+        self.fn = fn
+        self.label = label
+
+    def run(self, ctx) -> None:
+        # tile sized so two double-buffered queues fit the 192 KB UB even
+        # for 4-byte elements
+        tile = (40 * 1024) // max(self.src.dtype.itemsize, self.dst.dtype.itemsize)
+        n_tiles = -(-self.length // tile)
+        per_block = -(-n_tiles // self.block_dim) * tile
+        start = ctx.block_idx * per_block
+        end = min(start + per_block, self.length)
+        if start >= end:
+            return
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        q_in = pipe.init_buffer(
+            buffer=BufferKind.UB, depth=2, slot_bytes=tile * self.src.dtype.itemsize
+        )
+        q_out = pipe.init_buffer(
+            buffer=BufferKind.UB, depth=2, slot_bytes=tile * self.dst.dtype.itemsize
+        )
+        off = start
+        while off < end:
+            ln = min(tile, end - off)
+            t = q_in.alloc_tensor(self.src.dtype, ln)
+            I.data_copy(ctx, t, self.src.slice(self.offset + off, ln), label="rc in")
+            out = q_out.alloc_tensor(self.dst.dtype, ln)
+            src_arr, dst_arr = t.array, out.array
+            fn, np_dt = self.fn, self.dst.dtype.np_dtype
+
+            def _apply() -> None:
+                if fn is None:
+                    dst_arr[...] = src_arr.astype(np_dt)
+                else:
+                    dst_arr[...] = np.asarray(fn(src_arr)).astype(np_dt)
+
+            I.vector_macro(
+                ctx, label=self.label, reads=(t,), writes=(out,),
+                nbytes=out.nbytes, apply=_apply,
+            )
+            I.data_copy(ctx, self.dst.slice(off, ln), out, label="rc out")
+            q_out.free_tensor(out)
+            q_in.free_tensor(t)
+            off += ln

@@ -1,0 +1,92 @@
+"""Radix top-k selection (the RadiK direction the paper cites).
+
+Section 5 discusses RadiK, "a radix-based GPU implementation that scales
+well for large values of k", as the state of the art the stock top-k
+should evolve toward.  This module implements that approach on the
+simulated Ascend: find the k-th largest *key* by descending one bit of the
+order-preserving uint16 encoding per pass (16 cheap counting passes that
+move no values), then gather the winners with a single split.
+
+Compared to the paper's quickselect-on-SplitInd (which reshuffles values
+and indices on every partition), the counting passes read the keys only —
+so the value movement is paid once, and the operator scales to large k
+where the streaming baseline's per-core candidate state blows up.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, ShapeError
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+
+__all__ = ["CountMatchKernel"]
+
+_TILE = 16384
+
+
+class CountMatchKernel(Kernel):
+    """Per-block counts of ``(key & mask) == value`` over a uint16 array.
+
+    One radix-select pass: the driver sets ``mask``/``value`` to the fixed
+    prefix plus the bit under test.  Cost: three vector instructions per
+    tile (and, compare, reduce) — no value movement.
+    """
+
+    mode = "vec"
+
+    def __init__(
+        self,
+        keys: GlobalTensor,
+        counts: GlobalTensor,
+        mask: int,
+        value: int,
+        block_dim: int,
+    ):
+        super().__init__(block_dim=block_dim)
+        if keys.dtype.name != "uint16":
+            raise KernelError(f"keys must be uint16, got {keys.dtype.name}")
+        if counts.num_elements < block_dim or counts.dtype.name != "int32":
+            raise KernelError("counts must be int32 with one entry per block")
+        if not 0 <= mask <= 0xFFFF or not 0 <= value <= 0xFFFF:
+            raise KernelError("mask/value must be 16-bit")
+        if value & ~mask:
+            raise ShapeError(f"value {value:#x} has bits outside mask {mask:#x}")
+        self.keys = keys
+        self.counts = counts
+        self.match_mask = mask
+        self.match_value = value
+
+    def run(self, ctx) -> None:
+        n = self.keys.num_elements
+        n_tiles = -(-n // _TILE)
+        per_block = -(-n_tiles // self.block_dim) * _TILE
+        start = ctx.block_idx * per_block
+        end = min(start + per_block, n)
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        q = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=_TILE * 2)
+        q_m = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=_TILE * 2)
+        q_f = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=_TILE)
+        q_small = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=64)
+        total = 0.0
+        off = start
+        while off < end:
+            ln = min(_TILE, end - off)
+            keys = q.alloc_tensor("uint16", ln)
+            I.data_copy(ctx, keys, self.keys.slice(off, ln), label="cm load")
+            masked = q_m.alloc_tensor("uint16", ln)
+            I.bit_and(ctx, masked, keys, self.match_mask, label="cm and")
+            flags = q_f.alloc_tensor("int8", ln)
+            I.compare_scalar(
+                ctx, flags, masked, "eq", self.match_value, label="cm eq"
+            )
+            total += I.reduce_sum(ctx, flags, label="cm count")
+            q_f.free_tensor(flags)
+            q_m.free_tensor(masked)
+            q.free_tensor(keys)
+            off += ln
+        c = q_small.alloc_tensor("int32", 1)
+        I.duplicate(ctx, c, total, label="cm stage")
+        I.data_copy(ctx, self.counts.slice(ctx.block_idx, 1), c, label="cm store")
+        q_small.free_tensor(c)

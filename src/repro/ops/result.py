@@ -1,0 +1,60 @@
+"""Result container for composite operators.
+
+Operators such as radix sort or top-p sampling launch several kernels in
+sequence (as the paper's PyTorch-integrated operators do).  An
+:class:`OperatorResult` aggregates the traces; its time is the sum of the
+per-launch end-to-end times, matching how the PyTorch profiler would report
+a chain of custom operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hw.trace import Trace
+
+__all__ = ["OperatorResult"]
+
+
+@dataclass
+class OperatorResult:
+    """Output arrays plus the kernel launches that produced them."""
+
+    values: np.ndarray
+    traces: list[Trace]
+    #: logical element count of the operator (for GElems/s)
+    n_elements: int
+    #: logical input + output bytes (for the paper's GB/s metric)
+    io_bytes: int
+    indices: "np.ndarray | None" = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def time_ns(self) -> float:
+        return sum(t.total_ns for t in self.traces)
+
+    @property
+    def time_us(self) -> float:
+        return self.time_ns / 1e3
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_ns / 1e6
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.io_bytes / self.time_ns if self.time_ns else 0.0
+
+    @property
+    def gelems_per_s(self) -> float:
+        return self.n_elements / self.time_ns if self.time_ns else 0.0
+
+    @property
+    def kernel_launches(self) -> int:
+        return len(self.traces)
+
+    def gm_bytes(self) -> int:
+        """Total GM traffic across all launches."""
+        return sum(t.gm_bytes() for t in self.traces)

@@ -1,0 +1,136 @@
+"""Weighted sampling kernels (paper Section 5).
+
+The scan-based sampler lives in :meth:`repro.ops.driver.AscendOps.weighted_sample`
+(MCScan + predicate count).  This module provides the *baseline*
+``torch.multinomial`` stand-in: a two-pass vector-only sampler —
+
+* pass 1: per-core partial sums of the weights (so every core can compute
+  its prefix base);
+* pass 2: per-core local running sum; each core counts how many of its
+  elements have cumulative weight (base + local running sum) at or below
+  ``theta * total`` and writes the count.
+
+The sampled index is the total count — exactly inverse-transform sampling,
+but without materialising the cumulative array.  The stock operator is
+limited to 2^24-element supports (the scan-based sampler is not), which is
+the functional improvement the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError, ShapeError
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+
+__all__ = ["MultinomialTwoPassKernel"]
+
+_TILE = 16384
+
+
+class MultinomialTwoPassKernel(Kernel):
+    """Vector-only inverse-transform sampler (``torch.multinomial`` model)."""
+
+    mode = "vec"
+
+    def __init__(
+        self,
+        w: GlobalTensor,
+        counts: GlobalTensor,
+        theta: float,
+        block_dim: int,
+    ):
+        super().__init__(block_dim=block_dim)
+        if counts.num_elements < block_dim or counts.dtype.name != "int32":
+            raise KernelError("counts must be int32 with one entry per block")
+        if not 0.0 <= theta < 1.0:
+            raise KernelError(f"theta must be in [0, 1), got {theta}")
+        self.w = w
+        self.counts = counts
+        self.theta = theta
+        self._partials = [0.0] * block_dim
+
+    def phases(self):
+        return [self.phase_reduce, self.phase_count]
+
+    def _range(self, ctx) -> tuple[int, int]:
+        n = self.w.num_elements
+        n_tiles = -(-n // _TILE)
+        per_block = -(-n_tiles // self.block_dim) * _TILE
+        start = ctx.block_idx * per_block
+        return start, min(start + per_block, n)
+
+    def phase_reduce(self, ctx) -> None:
+        start, end = self._range(ctx)
+        total = 0.0
+        if start < end:
+            pipe = ctx.make_pipe(ctx.vec_core(0))
+            q = pipe.init_buffer(
+                buffer=BufferKind.UB, depth=2,
+                slot_bytes=_TILE * self.w.dtype.itemsize,
+            )
+            off = start
+            while off < end:
+                ln = min(_TILE, end - off)
+                t = q.alloc_tensor(self.w.dtype, ln)
+                I.data_copy(ctx, t, self.w.slice(off, ln), label="mn reduce in")
+                total += I.reduce_sum(ctx, t, label="mn reduce")
+                q.free_tensor(t)
+                off += ln
+        self._partials[ctx.block_idx] = total
+
+    def phase_count(self, ctx) -> None:
+        start, end = self._range(ctx)
+        grand_total = sum(self._partials)
+        if grand_total <= 0:
+            raise KernelError("weights sum to zero")
+        cut = self.theta * grand_total
+        base = sum(self._partials[: ctx.block_idx])
+        below = 0
+        if start < end:
+            pipe = ctx.make_pipe(ctx.vec_core(0))
+            q = pipe.init_buffer(
+                buffer=BufferKind.UB, depth=2,
+                slot_bytes=_TILE * self.w.dtype.itemsize,
+            )
+            q_small = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=64)
+            running = base
+            off = start
+            while off < end:
+                ln = min(_TILE, end - off)
+                t = q.alloc_tensor(self.w.dtype, ln)
+                I.data_copy(ctx, t, self.w.slice(off, ln), label="mn count in")
+                cum = running + np.cumsum(t.array.astype(np.float64))
+                below += int(np.count_nonzero(cum <= cut))
+                running = float(cum[-1]) if ln else running
+                # local running-sum + compare: two vector passes over the tile
+                I.vector_macro(
+                    ctx,
+                    label="mn count",
+                    reads=(t,),
+                    writes=(t,),
+                    nbytes=2 * t.nbytes,
+                    n_instructions=2,
+                    scalar_elements=1,
+                )
+                q.free_tensor(t)
+                off += ln
+            c = q_small.alloc_tensor("int32", 1)
+            I.duplicate(ctx, c, below, label="mn stage")
+            I.data_copy(
+                ctx, self.counts.slice(ctx.block_idx, 1), c, label="mn store"
+            )
+            q_small.free_tensor(c)
+        else:
+            # still publish a zero so the host-side sum is well defined
+            pipe = ctx.make_pipe(ctx.vec_core(0))
+            q_small = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=64)
+            c = q_small.alloc_tensor("int32", 1)
+            I.duplicate(ctx, c, 0, label="mn stage zero")
+            I.data_copy(
+                ctx, self.counts.slice(ctx.block_idx, 1), c, label="mn store"
+            )
+            q_small.free_tensor(c)

@@ -1,0 +1,233 @@
+"""Baseline sort (``torch.sort`` stand-in) — vector-only merge sort.
+
+Figure 11 compares the radix sort against the device's stock ``torch.sort``.
+The stock operator does not use the cube unit; we model it as the classic
+two-level parallel sort used by accelerator sort libraries:
+
+* pass 0 — in-core bitonic sort of 8 K-element segments (vector-friendly);
+* passes 1..P — pairwise merges of runs, doubling the run length each pass,
+  with the output of each pass partitioned into chunks over all vector
+  cores (co-rank partitioned merging).
+
+Merging is a data-dependent, vector-hostile operation: each output element
+costs several vector/scalar operations (``MERGE_CYCLES_PER_ELEMENT``).  The
+kernel carries an int32 index array so the result matches the
+(values, indices) contract of ``torch.sort``.
+
+The per-chunk *timing* attributes each pass's reads/writes to chunk-aligned
+ranges rather than exact co-rank spans — every element is still read and
+written exactly once per pass, only its issuing core can differ from a real
+co-rank partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError, ShapeError
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+
+__all__ = ["BaselineSortKernel", "SEGMENT", "MERGE_CYCLES_PER_ELEMENT"]
+
+#: in-core sort segment (elements)
+SEGMENT = 8192
+#: per-output-element cost of a vector-unit merge step (compare, select,
+#: pointer bump on the scalar unit) -- calibrated against Figure 11
+MERGE_CYCLES_PER_ELEMENT = 11.0
+#: per-element cost of the in-core bitonic sort pass
+SORT_CYCLES_PER_ELEMENT = 14.0
+#: chunk processed per core per step
+_CHUNK = 8192
+
+
+class BaselineSortKernel(Kernel):
+    """Vector-only two-level merge sort of (fp16 values, int32 indices)."""
+
+    mode = "vec"
+
+    def __init__(
+        self,
+        x: GlobalTensor,
+        out_values: GlobalTensor,
+        out_indices: GlobalTensor,
+        scratch_values: GlobalTensor,
+        scratch_indices: GlobalTensor,
+        block_dim: int,
+    ):
+        super().__init__(block_dim=block_dim)
+        n = x.num_elements
+        for t, name in (
+            (out_values, "out_values"),
+            (scratch_values, "scratch_values"),
+        ):
+            if t.num_elements != n or t.dtype.name != x.dtype.name:
+                raise ShapeError(f"{name} must match input length and dtype")
+        for t, name in (
+            (out_indices, "out_indices"),
+            (scratch_indices, "scratch_indices"),
+        ):
+            if t.num_elements != n or t.dtype.name != "int32":
+                raise ShapeError(f"{name} must be int32 of the input length")
+        if x.dtype.itemsize != 2:
+            raise KernelError("baseline sort models the 16-bit torch.sort path")
+        self.x = x
+        self.out_values = out_values
+        self.out_indices = out_indices
+        self.scratch_values = scratch_values
+        self.scratch_indices = scratch_indices
+        n_segments = -(-n // SEGMENT)
+        self.n_merge_passes = max(0, int(np.ceil(np.log2(max(n_segments, 1)))))
+
+    # -- phase plan -------------------------------------------------------------
+
+    def phases(self):
+        # ping-pong: pass 0 writes A; merge pass k reads one side, writes the
+        # other; arrange so the final pass lands in out_values/out_indices.
+        plan = [self._phase_sort_segments]
+        for k in range(1, self.n_merge_passes + 1):
+            plan.append(self._make_merge_phase(k))
+        return plan
+
+    def _side(self, k: int):
+        """Destination buffers of pass ``k``: ping-pong arranged so the
+        final pass lands in ``out_*``."""
+        if (self.n_merge_passes - k) % 2 == 0:
+            return (self.out_values, self.out_indices)
+        return (self.scratch_values, self.scratch_indices)
+
+    def _buffers_for_pass(self, k: int):
+        """(src_vals, src_idx, dst_vals, dst_idx) for pass ``k`` (pass 0
+        reads the input tensor directly, so its sources are None)."""
+        dst = self._side(k)
+        if k == 0:
+            return (None, None) + dst
+        return self._side(k - 1) + dst
+
+    # -- pass 0: segment sort ------------------------------------------------------
+
+    def _phase_sort_segments(self, ctx) -> None:
+        n = self.x.num_elements
+        _, _, dst_v, dst_i = self._buffers_for_pass(0)
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        q_v = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=_CHUNK * 2)
+        q_i = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=_CHUNK * 4)
+        n_segments = -(-n // SEGMENT)
+        for seg in range(ctx.block_idx, n_segments, ctx.block_dim):
+            off = seg * SEGMENT
+            ln = min(SEGMENT, n - off)
+            vals = q_v.alloc_tensor(self.x.dtype, ln)
+            I.data_copy(ctx, vals, self.x.slice(off, ln), label=f"load seg{seg}")
+            idx = q_i.alloc_tensor("int32", ln)
+            I.create_vec_index(ctx, idx, off)
+            v_arr, i_arr = vals.array, idx.array
+
+            def _sort() -> None:
+                order = np.argsort(v_arr, kind="stable")
+                v_arr[...] = v_arr[order]
+                i_arr[...] = i_arr[order]
+
+            I.vector_macro(
+                ctx,
+                label=f"bitonic seg{seg}",
+                reads=(vals, idx),
+                writes=(vals, idx),
+                nbytes=0,
+                n_instructions=1,
+                scalar_elements=0,
+                apply=_sort,
+            )
+            # charge the in-core sort explicitly (log^2-stage bitonic network)
+            ctx.emitter.emit(
+                engine=ctx.engine(ctx.vec_core(0), "vec"),
+                kind="vec_macro",
+                label=f"bitonic cost seg{seg}",
+                cycles=SORT_CYCLES_PER_ELEMENT * ln,
+                reads=(vals, idx),
+                writes=(vals, idx),
+            )
+            I.data_copy(ctx, dst_v.slice(off, ln), vals, label=f"store v seg{seg}")
+            I.data_copy(ctx, dst_i.slice(off, ln), idx, label=f"store i seg{seg}")
+            q_i.free_tensor(idx)
+            q_v.free_tensor(vals)
+
+    # -- merge passes ------------------------------------------------------------------
+
+    def _make_merge_phase(self, k: int):
+        def phase(ctx) -> None:
+            self._merge_pass(ctx, k)
+
+        phase.__name__ = f"merge_pass_{k}"
+        return phase
+
+    def _merge_pass(self, ctx, k: int) -> None:
+        n = self.x.num_elements
+        src_v, src_i, dst_v, dst_i = self._buffers_for_pass(k)
+        run = SEGMENT << (k - 1)
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        q_v = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=_CHUNK * 2)
+        q_i = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=_CHUNK * 4)
+
+        # merge each pair of runs functionally, then emit chunk ops
+        sv, si = src_v.flat, src_i.flat
+        # chunk work list for this block (round-robin over all chunks)
+        chunks = []
+        pair_start = 0
+        while pair_start < n:
+            a_end = min(pair_start + run, n)
+            b_end = min(pair_start + 2 * run, n)
+            chunks.extend(
+                (pair_start, a_end, b_end, c)
+                for c in range(pair_start, b_end, _CHUNK)
+            )
+            pair_start = b_end
+        my = chunks[ctx.block_idx :: ctx.block_dim]
+
+        merged_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for pair_start, a_end, b_end, c_off in my:
+            if pair_start not in merged_cache:
+                a_v, b_v = sv[pair_start:a_end], sv[a_end:b_end]
+                a_i, b_i = si[pair_start:a_end], si[a_end:b_end]
+                all_v = np.concatenate([a_v, b_v])
+                all_i = np.concatenate([a_i, b_i])
+                order = np.argsort(all_v, kind="stable")
+                merged_cache[pair_start] = (all_v[order], all_i[order])
+            m_v, m_i = merged_cache[pair_start]
+            ln = min(_CHUNK, b_end - c_off)
+            rel = c_off - pair_start
+
+            vals = q_v.alloc_tensor(self.x.dtype, ln)
+            I.data_copy(ctx, vals, src_v.slice(c_off, ln), label=f"merge in v{k}")
+            idx = q_i.alloc_tensor("int32", ln)
+            I.data_copy(ctx, idx, src_i.slice(c_off, ln), label=f"merge in i{k}")
+            v_arr, i_arr = vals.array, idx.array
+            mv_c = m_v[rel : rel + ln]
+            mi_c = m_i[rel : rel + ln]
+
+            def _apply() -> None:
+                v_arr[...] = mv_c
+                i_arr[...] = mi_c
+
+            I.vector_macro(
+                ctx,
+                label=f"merge step p{k}",
+                reads=(vals, idx),
+                writes=(vals, idx),
+                nbytes=0,
+                n_instructions=1,
+                apply=_apply,
+            )
+            ctx.emitter.emit(
+                engine=ctx.engine(ctx.vec_core(0), "vec"),
+                kind="vec_macro",
+                label=f"merge cost p{k}",
+                cycles=MERGE_CYCLES_PER_ELEMENT * ln,
+                reads=(vals, idx),
+                writes=(vals, idx),
+            )
+            I.data_copy(ctx, dst_v.slice(c_off, ln), vals, label=f"merge out v{k}")
+            I.data_copy(ctx, dst_i.slice(c_off, ln), idx, label=f"merge out i{k}")
+            q_i.free_tensor(idx)
+            q_v.free_tensor(vals)

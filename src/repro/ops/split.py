@@ -1,0 +1,204 @@
+"""SplitInd — stable parallel split returning values and original indices.
+
+Section 5 of the paper: "SplitInd takes as input an array of 16-bit
+elements and a 0/1 mask array (flags are stored in int8).  SplitInd
+executes an exclusive scan using MCScan on the mask array.  Afterwards, it
+gathers the correct input elements and their indices, using the vector
+core's GatherMask instruction, and it stores them in global memory at the
+offsets calculated by the scan."
+
+Implementation: a three-phase kernel.  Phases 1-2 are literally MCScan's
+phases (int8 specialisation, exclusive) run on the flag array; phase 3 is
+the gather.  Stability gives each tile's true elements a *contiguous*
+output range ``[scan[tile_start], scan[tile_start] + count)`` (and
+similarly for false elements after all trues), so GatherMask compaction
+plus one contiguous store per side suffices — no scatter needed.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError, ShapeError
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+from ..core.matrices import ScanConstants
+from ..core.mcscan import MCScanKernel, mcscan_partition, _split_half
+
+__all__ = ["SplitIndKernel", "GATHER_TILE"]
+
+#: elements per gather tile; sized so all eight UB operands of the gather
+#: phase (values, flags, inverted flags, indices, and the four gather
+#: outputs) fit in the 192 KB UB
+GATHER_TILE = 4096
+
+
+class SplitIndKernel(Kernel):
+    """Stable split of (values, indices) by an int8 flag array."""
+
+    mode = "mix"
+
+    def __init__(
+        self,
+        x: GlobalTensor,
+        flags: GlobalTensor,
+        scan: GlobalTensor,
+        r: GlobalTensor,
+        consts: ScanConstants,
+        s: int,
+        block_dim: int,
+        out_values: GlobalTensor,
+        out_indices: GlobalTensor,
+        in_indices: "GlobalTensor | None" = None,
+    ):
+        super().__init__(block_dim=block_dim)
+        n = x.num_elements
+        if flags.num_elements != n or scan.num_elements != n:
+            raise ShapeError("values, flags and scan arrays must share a length")
+        if out_values.num_elements != n or out_indices.num_elements != n:
+            raise ShapeError("split outputs must match the input length")
+        if flags.dtype.name != "int8":
+            raise KernelError(
+                f"split flags are stored in int8 (paper Section 5), "
+                f"got {flags.dtype.name}"
+            )
+        if x.dtype.itemsize not in (1, 2):
+            raise KernelError(
+                f"SplitInd takes 8/16-bit elements (the paper's operator is "
+                f"16-bit; 8-bit support implements its low-precision "
+                f"outlook), got {x.dtype.name}"
+            )
+        if out_values.dtype.name != x.dtype.name:
+            raise KernelError("output values dtype must match input")
+        if out_indices.dtype.name != "int32":
+            raise KernelError("output indices must be int32")
+        if in_indices is not None and in_indices.dtype.name != "int32":
+            raise KernelError("input indices must be int32")
+        self.x = x
+        self.flags = flags
+        self.out_values = out_values
+        self.out_indices = out_indices
+        self.in_indices = in_indices
+        self.s = s
+        # phases 1-2: exclusive int8 MCScan over the flags
+        self.mc = MCScanKernel(
+            flags, scan, r, consts, s, block_dim, exclusive=True
+        )
+
+    def phases(self):
+        return [self.mc.phase1, self.mc.phase2, self.gather_phase]
+
+    # -- phase 3: gather ---------------------------------------------------------
+
+    def gather_phase(self, ctx) -> None:
+        n = self.x.num_elements
+        scan = self.mc.y
+        r = self.mc.r
+        halves = len(ctx.vector_cores)
+        total_halves = self.block_dim * halves
+        ell = self.s * self.s
+        n_tiles = n // ell
+        lo, hi = mcscan_partition(n_tiles, self.block_dim)[ctx.block_idx]
+
+        for j in range(halves):
+            h_lo, h_hi = _split_half(lo, hi, j, halves)
+            if h_lo >= h_hi:
+                continue
+            vec = ctx.vec_core(j)
+            pipe = ctx.make_pipe(vec)
+            g = GATHER_TILE
+            esz = self.x.dtype.itemsize
+            q_vals = pipe.init_buffer(
+                buffer=BufferKind.UB, depth=1, slot_bytes=g * esz
+            )
+            q_flags = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=g)
+            q_inv = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=g)
+            q_idx = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=g * 4)
+            q_gv = pipe.init_buffer(
+                buffer=BufferKind.UB, depth=2, slot_bytes=g * esz
+            )
+            q_gi = pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=g * 4)
+            q_small = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=256)
+
+            # total number of trues: reduce the block-reduction array r
+            # (tiny, already in GM from phase 1)
+            r_t = q_small.alloc_tensor(r.dtype, total_halves)
+            I.data_copy(ctx, r_t, r.slice(0, total_halves), label="load r")
+            n_true = int(round(I.reduce_sum(ctx, r_t, label="sum r")))
+            q_small.free_tensor(r_t)
+
+            start_elem = h_lo * ell
+            end_elem = h_hi * ell
+            off = start_elem
+            while off < end_elem:
+                ln = min(g, end_elem - off)
+                # exclusive scan value at the tile start = trues before tile
+                base_t = q_small.alloc_tensor(scan.dtype, 1)
+                I.data_copy(ctx, base_t, scan.slice(off, 1), label="tile offset")
+                base_true = int(base_t.array[0])
+                q_small.free_tensor(base_t)
+                base_false = n_true + (off - base_true)
+
+                vals = q_vals.alloc_tensor(self.x.dtype, ln)
+                I.data_copy(ctx, vals, self.x.slice(off, ln), label="load x")
+                flags = q_flags.alloc_tensor("int8", ln)
+                I.data_copy(ctx, flags, self.flags.slice(off, ln), label="load f")
+                idx = q_idx.alloc_tensor("int32", ln)
+                if self.in_indices is not None:
+                    I.data_copy(
+                        ctx, idx, self.in_indices.slice(off, ln), label="load idx"
+                    )
+                else:
+                    I.create_vec_index(ctx, idx, off)
+
+                # true side
+                gv = q_gv.alloc_tensor(self.x.dtype, ln)
+                count = I.gather_mask(ctx, gv, vals, flags, label="gather vals T")
+                if count:
+                    I.data_copy(
+                        ctx,
+                        self.out_values.slice(base_true, count),
+                        gv.view(0, count),
+                        label="store vals T",
+                    )
+                q_gv.free_tensor(gv)
+                gi = q_gi.alloc_tensor("int32", ln)
+                I.gather_mask(ctx, gi, idx, flags, label="gather idx T")
+                if count:
+                    I.data_copy(
+                        ctx,
+                        self.out_indices.slice(base_true, count),
+                        gi.view(0, count),
+                        label="store idx T",
+                    )
+                q_gi.free_tensor(gi)
+
+                # false side (inverted mask)
+                inv = q_inv.alloc_tensor("int8", ln)
+                I.compare_scalar(ctx, inv, flags, "eq", 0, label="invert flags")
+                fcount = ln - count
+                gv = q_gv.alloc_tensor(self.x.dtype, ln)
+                I.gather_mask(ctx, gv, vals, inv, label="gather vals F")
+                if fcount:
+                    I.data_copy(
+                        ctx,
+                        self.out_values.slice(base_false, fcount),
+                        gv.view(0, fcount),
+                        label="store vals F",
+                    )
+                q_gv.free_tensor(gv)
+                gi = q_gi.alloc_tensor("int32", ln)
+                I.gather_mask(ctx, gi, idx, inv, label="gather idx F")
+                if fcount:
+                    I.data_copy(
+                        ctx,
+                        self.out_indices.slice(base_false, fcount),
+                        gi.view(0, fcount),
+                        label="store idx F",
+                    )
+                q_gi.free_tensor(gi)
+                q_inv.free_tensor(inv)
+                q_idx.free_tensor(idx)
+                q_flags.free_tensor(flags)
+                q_vals.free_tensor(vals)
+                off += ln

@@ -1,0 +1,13 @@
+"""Experiment harness regenerating every figure of the paper's evaluation."""
+
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from .reporting import format_value, to_markdown, to_text
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_value",
+    "run_experiment",
+    "to_markdown",
+    "to_text",
+]

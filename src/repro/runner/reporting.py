@@ -1,0 +1,65 @@
+"""Rendering of experiment results as text / markdown tables."""
+
+from __future__ import annotations
+
+import math
+
+from .experiments import ExperimentResult
+
+__all__ = ["format_value", "to_text", "to_markdown"]
+
+
+def format_value(v) -> str:
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "-"
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+def to_text(result: ExperimentResult) -> str:
+    """Fixed-width table (for terminal / bench output)."""
+    cols = result.columns
+    cells = [[format_value(r.get(c, "")) for c in cols] for r in result.rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+        for i, c in enumerate(cols)
+    ]
+    lines = [
+        f"== {result.exp_id}: {result.title}",
+        f"   paper: {result.paper_claim}",
+        "  ".join(c.rjust(w) for c, w in zip(cols, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    if result.notes:
+        lines.append(f"   note: {result.notes}")
+    return "\n".join(lines)
+
+
+def to_markdown(result: ExperimentResult) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    cols = result.columns
+    lines = [
+        f"### {result.exp_id} — {result.title}",
+        "",
+        f"*Paper:* {result.paper_claim}",
+        "",
+        "| " + " | ".join(cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for r in result.rows:
+        lines.append(
+            "| " + " | ".join(format_value(r.get(c, "")) for c in cols) + " |"
+        )
+    if result.notes:
+        lines.extend(["", f"*Note:* {result.notes}"])
+    lines.append("")
+    return "\n".join(lines)

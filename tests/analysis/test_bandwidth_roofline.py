@@ -1,0 +1,73 @@
+"""Bandwidth accounting and roofline tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bandwidth import (
+    gelems_per_s,
+    io_bandwidth_gbps,
+    peak_fraction,
+    scan_peak_fraction_bound,
+    traffic_breakdown,
+)
+from repro.analysis.roofline import (
+    machine_balance_flops_per_byte,
+    roofline_point,
+)
+from repro.hw.config import ASCEND_910B4
+from repro.core.reference import exact_fp16_scan_input
+
+
+class TestMetrics:
+    def test_io_bandwidth(self):
+        assert io_bandwidth_gbps(800, 1.0) == 800.0
+        assert io_bandwidth_gbps(100, 0.0) == 0.0
+
+    def test_gelems(self):
+        assert gelems_per_s(1000, 10.0) == 100.0
+
+    def test_peak_fraction(self):
+        assert peak_fraction(400.0, ASCEND_910B4) == pytest.approx(0.5)
+
+    def test_mcscan_375_percent_bound(self):
+        """The paper's 37.5% is exactly the io/traffic ratio for fp16."""
+        io = 2 + 4  # fp16 in + fp32 out
+        traffic = 2 * 2 + 3 * 4  # x read twice + intermediate out/in/out
+        assert scan_peak_fraction_bound(io, traffic) == pytest.approx(0.375)
+
+    def test_bound_guards_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            scan_peak_fraction_bound(6, 0)
+
+
+class TestTrafficBreakdown:
+    def test_consistency_with_trace(self, scan_ctx, rng):
+        x, _ = exact_fp16_scan_input(100_000, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan")
+        tb = traffic_breakdown(res.trace)
+        assert tb.read_bytes + tb.write_bytes == tb.total_bytes
+        assert 0.0 <= tb.hit_ratio <= 1.0
+
+
+class TestRoofline:
+    def test_machine_balance_positive(self):
+        assert machine_balance_flops_per_byte(ASCEND_910B4) > 1.0
+
+    def test_scan_is_memory_bound(self, scan_ctx, rng):
+        """Scan's operational intensity (~1 add/element over >= 6 bytes) is
+        far below the balance point — Section 2.1's premise."""
+        n = 1 << 18
+        x, _ = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan")
+        pt = roofline_point(res.trace, flops=float(n))
+        assert pt.memory_bound
+        assert pt.operational_intensity < machine_balance_flops_per_byte(
+            ASCEND_910B4
+        )
+        assert 0.0 < pt.roofline_fraction <= 1.0
+
+    def test_achieved_below_attainable(self, scan_ctx, rng):
+        x, _ = exact_fp16_scan_input(1 << 18, rng)
+        res = scan_ctx.scan(x, algorithm="scanul1")
+        pt = roofline_point(res.trace, flops=float(1 << 18))
+        assert pt.achieved_flops_per_ns <= pt.attainable_flops_per_ns

@@ -1,0 +1,94 @@
+"""Work/depth model tests — including cross-checks against live traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.analysis.workdepth import (
+    mcscan_costs,
+    scanu_costs,
+    scanul1_costs,
+    vector_baseline_costs,
+)
+from repro.core.reference import exact_fp16_scan_input
+
+
+class TestClosedForms:
+    def test_scanu_counts(self):
+        c = scanu_costs(4 * 128 * 128, 128)
+        assert c.tiles == 4
+        assert c.matmuls == 4
+        assert c.vector_instructions == 4 * 128
+        assert c.cube_mac_work == 4 * 128 ** 3
+
+    def test_scanul1_three_matmuls(self):
+        c = scanul1_costs(4 * 128 * 128, 128)
+        assert c.matmuls == 12
+        assert c.vector_instructions == 4
+
+    def test_scanul1_less_depth_than_scanu(self):
+        n = 64 * 128 * 128
+        assert scanul1_costs(n, 128).depth < scanu_costs(n, 128).depth
+
+    def test_vector_baseline_no_cube(self):
+        c = vector_baseline_costs(128 * 128 * 8)
+        assert c.matmuls == 0
+        assert c.cube_mac_work == 0
+        assert c.work == c.vector_instructions
+
+    def test_mcscan_depth_shrinks_with_blocks(self):
+        n = 256 * 128 * 128
+        d1 = mcscan_costs(n, 128, blocks=1).depth
+        d20 = mcscan_costs(n, 128, blocks=20).depth
+        assert d20 < d1 / 10
+
+    def test_mcscan_traffic_exceeds_single_core(self):
+        """The recomputation strategy buys parallelism with extra reads."""
+        n = 16 * 128 * 128
+        assert (
+            mcscan_costs(n, 128, blocks=4).gm_traffic_bytes
+            > scanu_costs(n, 128).gm_traffic_bytes
+        )
+
+    def test_rejects_unpadded(self):
+        with pytest.raises(ShapeError):
+            scanu_costs(100, 128)
+        with pytest.raises(ShapeError):
+            vector_baseline_costs(100)
+
+
+class TestTraceCrossChecks:
+    """The simulator must execute exactly the op counts the model predicts."""
+
+    def test_scanu_trace_matches_model(self, scan_ctx, rng):
+        s = 64
+        n = 8 * s * s
+        x, _ = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="scanu", s=s)
+        model = scanu_costs(n, s)
+        counts = res.trace.op_count_by_kind()
+        assert counts["mmad"] == model.matmuls
+        # GM traffic: model counts x in + 3x y (intermediate out, read, out)
+        assert res.trace.gm_bytes() == model.gm_traffic_bytes + s * s * 2  # + U_s load
+
+    def test_scanul1_trace_matches_model(self, scan_ctx, rng):
+        s = 64
+        n = 8 * s * s
+        x, _ = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="scanul1", s=s)
+        model = scanul1_costs(n, s)
+        counts = res.trace.op_count_by_kind()
+        assert counts["mmad"] == model.matmuls
+        # + 3 constant loads (U, L^-, 1)
+        assert res.trace.gm_bytes() == model.gm_traffic_bytes + 3 * s * s * 2
+
+    def test_mcscan_trace_matches_model(self, scan_ctx, rng):
+        s = 64
+        n = 64 * s * s
+        x, _ = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan", s=s, block_dim=4)
+        model = mcscan_costs(n, s, blocks=4)
+        counts = res.trace.op_count_by_kind()
+        assert counts["mmad"] == model.matmuls
+        # traffic: model + per-block U_s loads
+        assert res.trace.gm_bytes() == model.gm_traffic_bytes + 4 * s * s * 2

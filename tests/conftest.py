@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Most tests use small inputs on either a toy device (2 AI cores, tiny L2)
+or a session-scoped full 910B4 context; the session scope matters because
+ScanContext caches the constant matrices, keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import ScanContext
+from repro.hw.config import ASCEND_910B4, toy_config
+from repro.hw.device import AscendDevice
+from repro.ops.driver import AscendOps
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xA5CE17D)
+
+
+@pytest.fixture()
+def toy_device() -> AscendDevice:
+    return AscendDevice(toy_config())
+
+
+@pytest.fixture()
+def device() -> AscendDevice:
+    return AscendDevice(ASCEND_910B4)
+
+
+@pytest.fixture(scope="session")
+def scan_ctx() -> ScanContext:
+    """Session-scoped full-device scan context (constants cached once)."""
+    return ScanContext(ASCEND_910B4)
+
+
+@pytest.fixture(scope="session")
+def ops(scan_ctx) -> AscendOps:
+    return AscendOps(scan_ctx)

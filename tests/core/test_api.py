@@ -1,0 +1,89 @@
+"""ScanContext public API tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, ShapeError
+from repro.core.api import BATCHED_ALGORITHMS, SCAN_ALGORITHMS, ScanContext
+from repro.core.reference import exact_fp16_scan_input
+
+
+class TestDispatch:
+    def test_algorithm_lists(self):
+        assert set(SCAN_ALGORITHMS) == {"scanu", "scanul1", "mcscan", "vector"}
+        assert set(BATCHED_ALGORITHMS) == {"scanu", "scanul1", "vector"}
+
+    def test_unknown_algorithm(self, scan_ctx):
+        with pytest.raises(KernelError):
+            scan_ctx.scan(np.ones(10, dtype=np.float16), algorithm="best")
+
+    def test_exclusive_only_on_mcscan(self, scan_ctx):
+        with pytest.raises(KernelError):
+            scan_ctx.scan(
+                np.ones(10, dtype=np.float16), algorithm="scanu", exclusive=True
+            )
+
+    def test_rejects_2d(self, scan_ctx):
+        with pytest.raises(ShapeError):
+            scan_ctx.scan(np.ones((2, 5), dtype=np.float16))
+
+    def test_rejects_unsupported_dtype(self, scan_ctx):
+        with pytest.raises(KernelError):
+            scan_ctx.scan(np.ones(10, dtype=np.float32))
+
+
+class TestResultMetadata:
+    def test_io_bytes_fp16(self, scan_ctx, rng):
+        n = 20000
+        x, _ = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan")
+        assert res.io_bytes == n * (2 + 4)  # fp16 in, fp32 out
+        assert res.n_elements == n
+
+    def test_metrics_consistent(self, scan_ctx, rng):
+        x, _ = exact_fp16_scan_input(30000, rng)
+        res = scan_ctx.scan(x, algorithm="scanul1")
+        assert res.bandwidth_gbps == pytest.approx(res.io_bytes / res.time_ns)
+        assert res.gelems_per_s == pytest.approx(res.n_elements / res.time_ns)
+        assert res.time_us == pytest.approx(res.time_ns / 1e3)
+
+    def test_trace_attached(self, scan_ctx, rng):
+        x, _ = exact_fp16_scan_input(20000, rng)
+        res = scan_ctx.scan(x, algorithm="scanu")
+        assert len(res.trace.ops) > 0
+
+
+class TestMemoryDiscipline:
+    def test_constants_cached(self):
+        ctx = ScanContext()
+        c1 = ctx.constants(64, "fp16")
+        c2 = ctx.constants(64, "fp16")
+        assert c1 is c2
+        c3 = ctx.constants(64, "int8")
+        assert c3 is not c1
+
+    def test_hbm_reused_across_calls(self, rng):
+        ctx = ScanContext()
+        x, _ = exact_fp16_scan_input(50000, rng)
+        ctx.scan(x, algorithm="mcscan")
+        used_after_first = ctx.device.memory.used_bytes
+        for _ in range(5):
+            ctx.scan(x, algorithm="mcscan")
+        assert ctx.device.memory.used_bytes == used_after_first
+
+    def test_cold_cache_mode(self, rng):
+        ctx = ScanContext(warm_inputs=False)
+        x, _ = exact_fp16_scan_input(100000, rng)
+        cold = ctx.scan(x, algorithm="mcscan")
+        warm_ctx = ScanContext(warm_inputs=True)
+        warm = warm_ctx.scan(x, algorithm="mcscan")
+        assert cold.time_ns > warm.time_ns
+
+
+class TestPadding:
+    @pytest.mark.parametrize("n", [1, 127, 128, 16384, 16385, 99999])
+    def test_arbitrary_lengths(self, scan_ctx, rng, n):
+        x, expected = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan")
+        assert res.values.shape == (n,)
+        assert np.array_equal(res.values, expected[:n])

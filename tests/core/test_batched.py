@@ -1,0 +1,94 @@
+"""Batched scan tests (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, ShapeError
+from repro.core.reference import batched_inclusive_scan
+
+
+@pytest.mark.parametrize("algorithm", ["scanu", "scanul1"])
+class TestBatchedCorrectness:
+    def test_small_batch(self, scan_ctx, rng, algorithm):
+        x = rng.integers(-3, 4, (3, 5000)).astype(np.float16)
+        res = scan_ctx.batched_scan(x, algorithm=algorithm, s=128)
+        assert res.values.shape == x.shape
+        assert np.array_equal(res.values, batched_inclusive_scan(x))
+
+    def test_batch_larger_than_cores(self, scan_ctx, rng, algorithm):
+        x = rng.integers(-3, 4, (45, 600)).astype(np.float16)
+        res = scan_ctx.batched_scan(x, algorithm=algorithm, s=64)
+        assert np.array_equal(res.values, batched_inclusive_scan(x))
+
+    def test_single_row(self, scan_ctx, rng, algorithm):
+        x = rng.integers(-3, 4, (1, 20000)).astype(np.float16)
+        res = scan_ctx.batched_scan(x, algorithm=algorithm)
+        assert np.array_equal(res.values, batched_inclusive_scan(x))
+
+    def test_short_rows_use_flat_tiles(self, scan_ctx, rng, algorithm):
+        # rows shorter than s^2: shape-derived tiling kicks in
+        x = rng.integers(-3, 4, (8, 700)).astype(np.float16)
+        res = scan_ctx.batched_scan(x, algorithm=algorithm, s=128)
+        assert np.array_equal(res.values, batched_inclusive_scan(x))
+
+    def test_int8_batch(self, scan_ctx, rng, algorithm):
+        x = rng.integers(-5, 6, (4, 3000)).astype(np.int8)
+        res = scan_ctx.batched_scan(x, algorithm=algorithm, s=64)
+        assert res.values.dtype == np.int32
+        assert np.array_equal(res.values, batched_inclusive_scan(x))
+
+
+class TestBatchedVector:
+    def test_vector_baseline(self, scan_ctx, rng):
+        x = rng.integers(0, 3, (6, 2000)).astype(np.float16)
+        res = scan_ctx.batched_scan(x, algorithm="vector")
+        expected = batched_inclusive_scan(x, out_dtype=np.float16)
+        assert np.array_equal(res.values, expected)
+
+
+class TestBatchedScheduling:
+    def test_scanu_uses_both_vector_cores(self, scan_ctx, rng):
+        """Figure 4: two vector cores finish two arrays in parallel."""
+        x = rng.integers(0, 3, (2, 65536)).astype(np.float16)
+        res = scan_ctx.batched_scan(x, algorithm="scanu", s=128, block_dim=1)
+        used_vec_cores = {
+            res.trace.engines[o.engine].core_index
+            for o in res.trace.ops
+            if res.trace.engines[o.engine].core_kind == "aiv"
+        }
+        assert len(used_vec_cores) == 2
+
+    def test_scanul1_one_array_per_core(self, scan_ctx, rng):
+        x = rng.integers(0, 3, (4, 16384)).astype(np.float16)
+        res = scan_ctx.batched_scan(x, algorithm="scanul1", s=128)
+        used_cube_cores = {
+            res.trace.engines[o.engine].core_index
+            for o in res.trace.ops
+            if o.kind == "mmad"
+        }
+        assert len(used_cube_cores) == 4
+
+    def test_crossover_shape(self, scan_ctx, rng):
+        """Figure 5's qualitative claim: ScanU wins for many short arrays,
+        ScanUL1 for few long arrays."""
+        short = rng.integers(0, 3, (40, 1024)).astype(np.float16)
+        t_u = scan_ctx.batched_scan(short, algorithm="scanu", s=128).time_ns
+        t_l = scan_ctx.batched_scan(short, algorithm="scanul1", s=128).time_ns
+        assert t_u < t_l  # ScanU wins: batch 40, length 1K
+
+        long = rng.integers(0, 3, (4, 65536)).astype(np.float16)
+        t_u = scan_ctx.batched_scan(long, algorithm="scanu", s=128).time_ns
+        t_l = scan_ctx.batched_scan(long, algorithm="scanul1", s=128).time_ns
+        assert t_l < t_u  # ScanUL1 wins: batch 4, length 65K
+
+
+class TestBatchedValidation:
+    def test_rejects_1d(self, scan_ctx):
+        with pytest.raises(ShapeError):
+            scan_ctx.batched_scan(np.ones(10, dtype=np.float16))
+
+    def test_rejects_unknown_algorithm(self, scan_ctx):
+        with pytest.raises(KernelError):
+            scan_ctx.batched_scan(
+                np.ones((2, 10), dtype=np.float16), algorithm="magic"
+            )

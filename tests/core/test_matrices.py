@@ -1,0 +1,138 @@
+"""Constant matrix and tiling utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, ShapeError
+from repro.hw.config import toy_config
+from repro.hw.device import AscendDevice
+from repro.core.matrices import (
+    all_ones,
+    batched_tile_rows,
+    lower_ones,
+    padded_length,
+    strict_lower_ones,
+    tile_count,
+    upload_constants,
+    upper_ones,
+    validate_tile_size,
+)
+
+
+class TestMatrices:
+    def test_upper_ones(self):
+        u = upper_ones(4)
+        assert np.array_equal(
+            u, [[1, 1, 1, 1], [0, 1, 1, 1], [0, 0, 1, 1], [0, 0, 0, 1]]
+        )
+
+    def test_lower_ones_includes_diagonal(self):
+        assert np.array_equal(np.diag(lower_ones(8)), np.ones(8))
+
+    def test_strict_lower_has_zero_diagonal(self):
+        sl = strict_lower_ones(8)
+        assert np.all(np.diag(sl) == 0)
+        assert sl.sum() == 8 * 7 / 2
+
+    def test_all_ones(self):
+        assert all_ones(4).sum() == 16
+
+    def test_scan_identity(self):
+        """A @ U_s computes per-row scans (the Section 4.1 fact)."""
+        rng = np.random.default_rng(0)
+        a = rng.integers(-8, 8, (16, 16)).astype(np.float32)
+        result = a @ upper_ones(16, np.float32)
+        assert np.allclose(result, np.cumsum(a, axis=1))
+
+    def test_equation_1(self):
+        """scan(z) = A @ U + L^- @ A @ 1 (Equation 1 of the paper)."""
+        rng = np.random.default_rng(1)
+        s = 8
+        z = rng.integers(-8, 8, s * s).astype(np.float32)
+        a = z.reshape(s, s)
+        result = a @ upper_ones(s, np.float32) + strict_lower_ones(
+            s, np.float32
+        ) @ a @ all_ones(s, np.float32)
+        assert np.allclose(result.reshape(-1), np.cumsum(z))
+
+    def test_equation_1_rectangular(self):
+        """Equation 1 with an m x s tile uses L^-_m (batched tiling)."""
+        rng = np.random.default_rng(2)
+        m, s = 4, 8
+        z = rng.integers(-8, 8, m * s).astype(np.float32)
+        a = z.reshape(m, s)
+        result = a @ upper_ones(s, np.float32) + strict_lower_ones(
+            m, np.float32
+        ) @ (a @ all_ones(s, np.float32))
+        assert np.allclose(result.reshape(-1), np.cumsum(z))
+
+
+class TestTiling:
+    def test_padded_length(self):
+        assert padded_length(100, 64) == 128
+        assert padded_length(128, 64) == 128
+        with pytest.raises(ShapeError):
+            padded_length(0, 64)
+
+    def test_tile_count(self):
+        assert tile_count(100, 64) == 2
+        assert tile_count(64, 64) == 1
+
+    def test_validate_tile_size(self):
+        for s in (16, 32, 64, 128):
+            validate_tile_size(s)
+        with pytest.raises(KernelError):
+            validate_tile_size(100)
+
+    @pytest.mark.parametrize(
+        "row_len,s,expected",
+        [
+            (65536, 128, 128),  # long rows: square tiles
+            (1024, 128, 8),  # 1024/128 = 8 rows available
+            (100, 128, 1),  # shorter than s: single row
+            (4096, 64, 64),
+            (3000, 128, 16),  # pads to 3072 -> 24 rows -> pow2 16
+        ],
+    )
+    def test_batched_tile_rows(self, row_len, s, expected):
+        assert batched_tile_rows(row_len, s) == expected
+
+    def test_batched_tile_rows_rejects_nonpositive(self):
+        with pytest.raises(ShapeError):
+            batched_tile_rows(0, 128)
+
+
+class TestUploadConstants:
+    def test_upload_shapes(self):
+        dev = AscendDevice(toy_config())
+        c = upload_constants(dev, 32, "fp16")
+        assert c.s == 32 and c.rows == 32
+        assert c.u.num_elements == 32 * 32
+        assert np.array_equal(
+            c.u.to_numpy().reshape(32, 32), upper_ones(32)
+        )
+        assert np.array_equal(
+            c.strict_lower.to_numpy().reshape(32, 32), strict_lower_ones(32)
+        )
+        assert c.tile_elements == 1024
+
+    def test_upload_rectangular(self):
+        dev = AscendDevice(toy_config())
+        c = upload_constants(dev, 32, "fp16", rows=8)
+        assert c.strict_lower.num_elements == 64
+        assert c.tile_elements == 256
+
+    def test_rows_validated(self):
+        dev = AscendDevice(toy_config())
+        with pytest.raises(ShapeError):
+            upload_constants(dev, 32, "fp16", rows=64)
+
+    def test_int8_constants(self):
+        dev = AscendDevice(toy_config())
+        c = upload_constants(dev, 16, "int8")
+        assert c.dtype.name == "int8"
+
+    def test_non_cube_dtype_rejected(self):
+        dev = AscendDevice(toy_config())
+        with pytest.raises(KernelError):
+            upload_constants(dev, 16, "fp32")

@@ -1,0 +1,105 @@
+"""MCScan (Algorithm 3) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.mcscan import mcscan_partition
+from repro.core.reference import exact_fp16_scan_input, exclusive_scan, inclusive_scan
+
+
+class TestPartition:
+    def test_balanced(self):
+        ranges = mcscan_partition(10, 4)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sizes == [3, 3, 2, 2]
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+
+    def test_contiguous_cover(self):
+        ranges = mcscan_partition(17, 5)
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_more_blocks_than_tiles(self):
+        ranges = mcscan_partition(2, 5)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == 2
+        assert all(s in (0, 1) for s in sizes)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("s", [32, 64, 128])
+    def test_inclusive_fp16(self, scan_ctx, rng, s):
+        n = 200_000
+        x, expected = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan", s=s)
+        assert np.array_equal(res.values, expected[:n])
+
+    def test_exclusive_fp16(self, scan_ctx, rng):
+        n = 100_000
+        x, expected = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan", exclusive=True)
+        want = np.concatenate([[0], expected[: n - 1]]).astype(np.float32)
+        assert np.array_equal(res.values, want)
+
+    def test_inclusive_int8(self, scan_ctx, rng):
+        x = rng.integers(-128, 128, 150_000).astype(np.int8)
+        res = scan_ctx.scan(x, algorithm="mcscan")
+        assert np.array_equal(res.values, inclusive_scan(x))
+
+    def test_exclusive_int8_mask(self, scan_ctx, rng):
+        """The split/compress input case: 0/1 mask, exclusive offsets."""
+        m = (rng.random(80_000) < 0.5).astype(np.int8)
+        res = scan_ctx.scan(m, algorithm="mcscan", exclusive=True)
+        assert np.array_equal(res.values, exclusive_scan(m))
+
+    def test_single_block(self, scan_ctx, rng):
+        x, expected = exact_fp16_scan_input(40_000, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan", block_dim=1)
+        assert np.array_equal(res.values, expected[:40_000])
+
+    def test_more_blocks_than_tiles(self, scan_ctx, rng):
+        """Blocks with empty tile ranges must still behave (write r = 0)."""
+        x, expected = exact_fp16_scan_input(16384 * 3, rng)  # 3 tiles, 20 blocks
+        res = scan_ctx.scan(x, algorithm="mcscan", block_dim=20)
+        assert np.array_equal(res.values, expected)
+
+
+class TestStructure:
+    def test_two_phases_one_barrier(self, scan_ctx, rng):
+        x, _ = exact_fp16_scan_input(1 << 18, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan")
+        barriers = [o for o in res.trace.ops if o.kind == "barrier"]
+        assert len(barriers) == 1
+
+    def test_vector_units_recompute_reductions(self, scan_ctx, rng):
+        """Phase I reads the input twice: once on the cube cores, once on
+        the vector cores (the paper's partial-recomputation novelty)."""
+        n = 1 << 18
+        x, _ = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan")
+        # input is fp16: cube reads 2n bytes, vector reduction reads 2n more;
+        # phase II reads the fp32 intermediate (4n)
+        assert res.trace.gm_read_bytes() >= 2 * n * 2 + 4 * n
+
+    def test_speedup_over_single_core_grows_with_n(self, scan_ctx, rng):
+        speedups = []
+        for p in (17, 19):
+            x, _ = exact_fp16_scan_input(1 << p, rng)
+            t_u = scan_ctx.scan(x, algorithm="scanu").time_ns
+            t_mc = scan_ctx.scan(x, algorithm="mcscan").time_ns
+            speedups.append(t_u / t_mc)
+        assert speedups[1] > speedups[0] > 1.0
+
+    def test_bandwidth_below_theoretical_bound(self, scan_ctx, rng):
+        """fp16 MCScan cannot exceed 6/16 of peak (bandwidth.py reasoning)."""
+        x, _ = exact_fp16_scan_input(1 << 20, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan", s=128)
+        assert res.bandwidth_gbps <= 0.375 * 800 + 1e-6
+
+    def test_int8_faster_per_element(self, scan_ctx, rng):
+        n = 1 << 20
+        xf, _ = exact_fp16_scan_input(n, rng)
+        xi = rng.integers(-2, 3, n).astype(np.int8)
+        gf = scan_ctx.scan(xf, algorithm="mcscan").gelems_per_s
+        gi = scan_ctx.scan(xi, algorithm="mcscan").gelems_per_s
+        assert 1.0 < gi / gf < 1.3  # paper: ~10%

@@ -1,0 +1,121 @@
+"""Single-core scan kernel tests: ScanU (Algorithm 1) and ScanUL1
+(Algorithm 2), run through the public ScanContext API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, ShapeError
+from repro.core.api import ScanContext
+from repro.core.matrices import upload_constants
+from repro.core.mcscan import MCScanKernel
+from repro.core.reference import exact_fp16_scan_input, inclusive_scan
+from repro.core.scanu import ScanUKernel
+from repro.core.scanul1 import ScanUL1Kernel
+
+
+@pytest.mark.parametrize("algorithm", ["scanu", "scanul1"])
+class TestSingleCoreCorrectness:
+    @pytest.mark.parametrize("s", [16, 32, 128])
+    def test_exact_fp16(self, scan_ctx, rng, algorithm, s):
+        n = 3 * s * s + 7  # forces padding
+        x, expected = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm=algorithm, s=s)
+        assert res.values.dtype == np.float32
+        assert np.array_equal(res.values, expected[:n])
+
+    def test_int8(self, scan_ctx, rng, algorithm):
+        n = 40000
+        x = rng.integers(-5, 6, n).astype(np.int8)
+        res = scan_ctx.scan(x, algorithm=algorithm, s=64)
+        assert res.values.dtype == np.int32
+        assert np.array_equal(res.values, inclusive_scan(x))
+
+    def test_single_element(self, scan_ctx, algorithm):
+        res = scan_ctx.scan(np.array([3.0], dtype=np.float16), algorithm=algorithm)
+        assert res.values[0] == 3.0
+
+    def test_all_zeros(self, scan_ctx, algorithm):
+        res = scan_ctx.scan(np.zeros(1000, dtype=np.float16), algorithm=algorithm)
+        assert np.all(res.values == 0)
+
+    def test_negative_values(self, scan_ctx, rng, algorithm):
+        x = -np.abs(rng.integers(0, 4, 5000)).astype(np.float16)
+        res = scan_ctx.scan(x, algorithm=algorithm)
+        assert np.array_equal(res.values, inclusive_scan(x))
+
+
+class TestSingleCoreTiming:
+    def test_scanul1_faster_than_scanu(self, scan_ctx, rng):
+        """Algorithm 2's single-Adds propagation beats Algorithm 1's serial
+        chain (the paper's ~2x)."""
+        x, _ = exact_fp16_scan_input(1 << 19, rng)
+        t_u = scan_ctx.scan(x, algorithm="scanu", s=128).time_ns
+        t_ul1 = scan_ctx.scan(x, algorithm="scanul1", s=128).time_ns
+        assert 1.5 < t_u / t_ul1 < 3.0
+
+    def test_both_beat_vector_baseline(self, scan_ctx, rng):
+        x, _ = exact_fp16_scan_input(1 << 19, rng)
+        t_vec = scan_ctx.scan(x, algorithm="vector").time_ns
+        t_u = scan_ctx.scan(x, algorithm="scanu", s=128).time_ns
+        t_ul1 = scan_ctx.scan(x, algorithm="scanul1", s=128).time_ns
+        assert t_vec / t_u > 3.0  # paper: ~5x
+        assert t_vec / t_ul1 > 6.0  # paper: ~9.6x
+
+    def test_scanul1_issues_three_matmuls_per_tile(self, scan_ctx, rng):
+        s = 32
+        n = 4 * s * s
+        x, _ = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="scanul1", s=s)
+        assert res.trace.op_count_by_kind()["mmad"] == 3 * 4
+
+    def test_scanu_issues_one_matmul_per_tile(self, scan_ctx, rng):
+        s = 32
+        n = 4 * s * s
+        x, _ = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="scanu", s=s)
+        assert res.trace.op_count_by_kind()["mmad"] == 4
+
+
+class TestKernelValidation:
+    def _device_tensors(self, device, n=1024, s=32):
+        consts = upload_constants(device, s, "fp16")
+        x = device.alloc("x", n, "fp16")
+        y = device.alloc("y", n, "fp32")
+        return x, y, consts
+
+    def test_unpadded_length_rejected(self, device):
+        x, y, consts = self._device_tensors(device, n=1000)
+        with pytest.raises(ShapeError):
+            ScanUKernel(x, y, consts, 32)
+
+    def test_wrong_output_dtype(self, device):
+        consts = upload_constants(device, 32, "fp16")
+        x = device.alloc("x", 1024, "fp16")
+        y = device.alloc("y", 1024, "fp16")
+        with pytest.raises(KernelError):
+            ScanUKernel(x, y, consts, 32)
+        with pytest.raises(KernelError):
+            ScanUL1Kernel(x, y, consts, 32)
+
+    def test_mismatched_constants(self, device):
+        consts = upload_constants(device, 64, "fp16")
+        x = device.alloc("x", 1024, "fp16")
+        y = device.alloc("y", 1024, "fp32")
+        with pytest.raises(KernelError):
+            ScanUKernel(x, y, consts, 32)
+
+    def test_output_length_mismatch(self, device):
+        consts = upload_constants(device, 32, "fp16")
+        x = device.alloc("x", 1024, "fp16")
+        y = device.alloc("y", 2048, "fp32")
+        with pytest.raises(ShapeError):
+            ScanUL1Kernel(x, y, consts, 32)
+
+    def test_mcscan_r_too_small(self, device):
+        consts = upload_constants(device, 32, "fp16")
+        x = device.alloc("x", 4096, "fp16")
+        y = device.alloc("y", 4096, "fp32")
+        r = device.alloc("r", 2, "fp32")
+        kernel = MCScanKernel(x, y, r, consts, 32, block_dim=4)
+        with pytest.raises(ShapeError):
+            device.launch(kernel)

@@ -1,0 +1,81 @@
+"""Multi-core scan strategy tests (SSA / RSS / decoupled lookback)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.core.api import SCAN_STRATEGIES
+from repro.core.reference import exact_fp16_scan_input, inclusive_scan
+
+
+@pytest.mark.parametrize("strategy", SCAN_STRATEGIES)
+class TestStrategyCorrectness:
+    def test_fp16(self, scan_ctx, rng, strategy):
+        n = 150_000
+        x, expected = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan_strategy(x, strategy=strategy)
+        assert np.array_equal(res.values, expected[:n])
+
+    def test_int8(self, scan_ctx, rng, strategy):
+        x = rng.integers(-5, 6, 80_000).astype(np.int8)
+        res = scan_ctx.scan_strategy(x, strategy=strategy, s=64)
+        assert np.array_equal(res.values, inclusive_scan(x))
+
+    def test_single_block(self, scan_ctx, rng, strategy):
+        x, expected = exact_fp16_scan_input(40_000, rng)
+        res = scan_ctx.scan_strategy(x, strategy=strategy, block_dim=1)
+        assert np.array_equal(res.values, expected[:40_000])
+
+    def test_more_blocks_than_tiles(self, scan_ctx, rng, strategy):
+        x, expected = exact_fp16_scan_input(16384 * 2, rng)
+        res = scan_ctx.scan_strategy(x, strategy=strategy, block_dim=20)
+        assert np.array_equal(res.values, expected)
+
+
+class TestStrategyStructure:
+    def _barriers(self, res):
+        return sum(1 for o in res.trace.ops if o.kind == "barrier")
+
+    def test_barrier_counts(self, scan_ctx, rng):
+        """MCScan: 1 barrier; SSA/RSS: 2; lookback: none (its defining
+        property, Section 2.1)."""
+        x, _ = exact_fp16_scan_input(1 << 19, rng)
+        assert self._barriers(scan_ctx.scan_strategy(x, strategy="mcscan")) == 1
+        assert self._barriers(scan_ctx.scan_strategy(x, strategy="ssa")) == 2
+        assert self._barriers(scan_ctx.scan_strategy(x, strategy="rss")) == 2
+        assert self._barriers(scan_ctx.scan_strategy(x, strategy="lookback")) == 0
+
+    def test_traffic_ordering(self, scan_ctx, rng):
+        """SSA moves the most GM bytes (its broadcast-add phase re-reads
+        the output); MCScan, RSS and lookback move the same amount."""
+        x, _ = exact_fp16_scan_input(1 << 20, rng)
+        traffic = {
+            strat: scan_ctx.scan_strategy(x, strategy=strat).trace.gm_bytes()
+            for strat in SCAN_STRATEGIES
+        }
+        assert traffic["ssa"] > traffic["mcscan"]
+        assert traffic["rss"] == pytest.approx(traffic["mcscan"], rel=0.01)
+        assert traffic["lookback"] == pytest.approx(traffic["mcscan"], rel=0.01)
+
+    def test_mcscan_overlap_beats_rss(self, scan_ctx, rng):
+        """The recomputation claim: overlapping the reduction with the cube
+        local scans (MCScan) beats the serialised RSS at equal traffic."""
+        x, _ = exact_fp16_scan_input(1 << 21, rng)
+        t_mc = scan_ctx.scan_strategy(x, strategy="mcscan").time_ns
+        t_rss = scan_ctx.scan_strategy(x, strategy="rss").time_ns
+        assert t_mc < t_rss
+
+    def test_rss_cube_idles_in_phase_one(self, scan_ctx, rng):
+        """RSS's first phase uses no cube engine at all."""
+        x, _ = exact_fp16_scan_input(1 << 18, rng)
+        res = scan_ctx.scan_strategy(x, strategy="rss")
+        trace = res.trace
+        barriers = [o.op_id for o in trace.ops if o.kind == "barrier"]
+        first_phase = [o for o in trace.ops if o.op_id < barriers[0]]
+        assert all(o.kind != "mmad" for o in first_phase)
+
+    def test_unknown_strategy(self, scan_ctx):
+        with pytest.raises(KernelError):
+            scan_ctx.scan_strategy(
+                np.ones(10, dtype=np.float16), strategy="magic"
+            )

@@ -1,0 +1,80 @@
+"""Vector-only baseline and copy kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.core.copykernel import CopyKernel
+from repro.core.reference import exact_fp16_scan_input
+from repro.core.vector_baseline import CUMSUM_COLS, CumSumKernel
+
+
+class TestCumSum:
+    def test_correctness(self, scan_ctx, rng):
+        n = 50_000
+        x, expected = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="vector")
+        assert res.values.dtype == np.float16
+        assert np.array_equal(
+            res.values.astype(np.float32), expected[:n]
+        )
+
+    def test_never_touches_cube(self, scan_ctx, rng):
+        x, _ = exact_fp16_scan_input(30_000, rng)
+        res = scan_ctx.scan(x, algorithm="vector")
+        assert "mmad" not in res.trace.op_count_by_kind()
+
+    def test_single_core_only(self, scan_ctx, rng):
+        x, _ = exact_fp16_scan_input(30_000, rng)
+        res = scan_ctx.scan(x, algorithm="vector")
+        cores = {
+            res.trace.engines[o.engine].core_index
+            for o in res.trace.ops
+            if res.trace.engines[o.engine].core_kind == "aiv"
+        }
+        assert cores == {0}
+
+    def test_kernel_requires_padded_length(self, device):
+        x = device.alloc("x", 100, "fp16")
+        y = device.alloc("y", 100, "fp16")
+        with pytest.raises(ShapeError):
+            CumSumKernel(x, y)
+
+    def test_kernel_requires_same_dtype(self, device):
+        x = device.alloc("x", CUMSUM_COLS, "fp16")
+        y = device.alloc("y", CUMSUM_COLS, "fp32")
+        with pytest.raises(ShapeError):
+            CumSumKernel(x, y)
+
+
+class TestCopy:
+    def test_copy_correctness(self, scan_ctx, rng):
+        x = rng.standard_normal(100_000).astype(np.float16)
+        res = scan_ctx.copy(x)
+        assert np.array_equal(res.values, x)
+
+    def test_copy_traffic_is_2n(self, scan_ctx, rng):
+        n = 65536
+        x = rng.standard_normal(n).astype(np.float16)
+        res = scan_ctx.copy(x)
+        assert res.trace.gm_bytes() == 2 * n * 2
+
+    def test_copy_beats_every_scan(self, scan_ctx, rng):
+        """The Figure 8 yardstick: pure copy is the upper bound."""
+        x, _ = exact_fp16_scan_input(1 << 20, rng)
+        bw_copy = scan_ctx.copy(x).bandwidth_gbps
+        bw_scan = scan_ctx.scan(x, algorithm="mcscan").bandwidth_gbps
+        assert bw_copy > bw_scan
+
+    def test_copy_bandwidth_approaches_peak(self, scan_ctx, rng):
+        """Below L2 capacity the copy nearly reaches 800 GB/s but never
+        exceeds it (Section 6.1)."""
+        x = rng.standard_normal(1 << 22).astype(np.float16)
+        bw = scan_ctx.copy(x).bandwidth_gbps
+        assert 500 < bw <= 800
+
+    def test_kernel_validates_shapes(self, device):
+        x = device.alloc("x", 128, "fp16")
+        y = device.alloc("y", 64, "fp16")
+        with pytest.raises(ShapeError):
+            CopyKernel(x, y, 1)

@@ -1,0 +1,81 @@
+"""L2 cache model tests."""
+
+import pytest
+
+from repro.hw.cache import L2Cache
+from repro.hw.config import DeviceConfig, MemoryConfig
+
+
+def small_cache(capacity_chunks=4, chunk=1024):
+    cfg = DeviceConfig(
+        memory=MemoryConfig(
+            l2_capacity_bytes=capacity_chunks * chunk, l2_chunk_bytes=chunk
+        )
+    )
+    return L2Cache(cfg)
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        hit, miss = c.access(0, 512)
+        assert (hit, miss) == (0, 512)
+        hit, miss = c.access(0, 512)
+        assert (hit, miss) == (512, 0)
+
+    def test_partial_chunk_spans(self):
+        c = small_cache(chunk=1024)
+        hit, miss = c.access(512, 1024)  # spans two chunks
+        assert miss == 1024
+        hit, miss = c.access(512, 1024)
+        assert hit == 1024
+
+    def test_zero_bytes(self):
+        c = small_cache()
+        assert c.access(0, 0) == (0, 0)
+
+    def test_lru_eviction(self):
+        c = small_cache(capacity_chunks=2, chunk=1024)
+        c.access(0, 1024)  # chunk 0
+        c.access(1024, 1024)  # chunk 1
+        c.access(2048, 1024)  # chunk 2 evicts chunk 0
+        hit, miss = c.access(0, 1024)
+        assert miss == 1024
+
+    def test_lru_touch_refreshes(self):
+        c = small_cache(capacity_chunks=2, chunk=1024)
+        c.access(0, 1024)
+        c.access(1024, 1024)
+        c.access(0, 1024)  # refresh chunk 0
+        c.access(2048, 1024)  # evicts chunk 1, not 0
+        hit, _ = c.access(0, 1024)
+        assert hit == 1024
+
+    def test_hit_ratio_statistics(self):
+        c = small_cache()
+        c.access(0, 1024)
+        c.access(0, 1024)
+        assert c.hit_ratio == pytest.approx(0.5)
+        assert c.hit_bytes == 1024
+        assert c.miss_bytes == 1024
+
+
+class TestWarmFlush:
+    def test_warm_marks_resident_without_stats(self):
+        c = small_cache()
+        c.warm(0, 2048)
+        assert c.hits == c.misses == 0
+        hit, miss = c.access(0, 2048)
+        assert miss == 0
+
+    def test_warm_respects_capacity(self):
+        c = small_cache(capacity_chunks=2, chunk=1024)
+        c.warm(0, 8 * 1024)
+        assert len(c) == 2
+
+    def test_flush(self):
+        c = small_cache()
+        c.warm(0, 1024)
+        c.flush()
+        _, miss = c.access(0, 1024)
+        assert miss == 1024

@@ -1,0 +1,95 @@
+"""Device configuration tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import (
+    ASCEND_910B4,
+    CostConfig,
+    DeviceConfig,
+    MemoryConfig,
+    toy_config,
+)
+
+
+class TestPreset910B4:
+    def test_core_counts_match_paper(self):
+        # "910B4 contains 20 Cube Units and 40 Vector Units" (Section 6)
+        assert ASCEND_910B4.num_cube_cores == 20
+        assert ASCEND_910B4.num_vector_cores == 40
+        assert ASCEND_910B4.vector_cores_per_ai_core == 2
+
+    def test_hbm_peak_matches_paper(self):
+        # "peak bandwidth is 800GB/s for 910B4" (Section 6.1)
+        assert ASCEND_910B4.memory.hbm_bandwidth_gbps == 800.0
+        assert ASCEND_910B4.hbm_bytes_per_ns == 800.0
+
+    def test_buffer_capacities(self):
+        b = ASCEND_910B4.buffers
+        assert b.ub_bytes == 192 * 1024
+        assert b.l0a_bytes == b.l0b_bytes == 64 * 1024
+        assert b.l0c_bytes == 256 * 1024
+        assert b.l1_bytes == 1024 * 1024
+
+    def test_cycle_conversion(self):
+        assert ASCEND_910B4.cycles_to_ns(ASCEND_910B4.clock_ghz) == pytest.approx(1.0)
+        assert ASCEND_910B4.cycle_ns == pytest.approx(1 / 1.8)
+
+    def test_config_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ASCEND_910B4.num_ai_cores = 5
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(num_ai_cores=0)
+
+    def test_rejects_zero_vector_ratio(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(vector_cores_per_ai_core=0)
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(clock_ghz=0.0)
+
+    def test_rejects_l2_slower_than_hbm(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(
+                memory=MemoryConfig(hbm_bandwidth_gbps=800, l2_bandwidth_gbps=400)
+            )
+
+    def test_rejects_bad_dram_efficiency(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(memory=MemoryConfig(dram_efficiency=0.0))
+        with pytest.raises(ConfigError):
+            DeviceConfig(memory=MemoryConfig(dram_efficiency=1.5))
+
+
+class TestDerived:
+    def test_with_cores(self):
+        cfg = ASCEND_910B4.with_cores(4)
+        assert cfg.num_ai_cores == 4
+        assert cfg.num_vector_cores == 8
+        # original untouched
+        assert ASCEND_910B4.num_ai_cores == 20
+
+    def test_toy_config_is_small(self):
+        cfg = toy_config()
+        assert cfg.num_ai_cores == 2
+        assert cfg.memory.l2_capacity_bytes < ASCEND_910B4.memory.l2_capacity_bytes
+
+    def test_mte_link_rate(self):
+        c = ASCEND_910B4
+        assert c.mte_link_bytes_per_ns == pytest.approx(
+            c.costs.mte_link_bytes_per_cycle * c.clock_ghz
+        )
+
+    def test_cost_defaults_sane(self):
+        costs = CostConfig()
+        assert costs.vec_issue_cycles > 0
+        assert costs.mmad_fractal == 16
+        assert costs.mmad_int8_rate == 2.0
+        assert 0 < costs.mmad_efficiency <= 1.0

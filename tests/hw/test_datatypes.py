@@ -1,0 +1,57 @@
+"""Device dtype registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError
+from repro.hw.datatypes import (
+    FP16,
+    FP32,
+    INT8,
+    INT32,
+    as_dtype,
+    cube_accum_dtype,
+    dtype_by_name,
+)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,np_dtype,size",
+        [
+            ("fp16", np.float16, 2),
+            ("fp32", np.float32, 4),
+            ("int8", np.int8, 1),
+            ("int16", np.int16, 2),
+            ("uint16", np.uint16, 2),
+            ("int32", np.int32, 4),
+            ("uint32", np.uint32, 4),
+        ],
+    )
+    def test_lookup(self, name, np_dtype, size):
+        dt = dtype_by_name(name)
+        assert dt.np_dtype == np.dtype(np_dtype)
+        assert dt.itemsize == size
+
+    def test_unknown_name(self):
+        with pytest.raises(DTypeError):
+            dtype_by_name("fp8")
+
+    def test_as_dtype_passthrough(self):
+        assert as_dtype(FP16) is FP16
+        assert as_dtype("fp16") is FP16
+
+
+class TestCubeRules:
+    def test_cube_inputs(self):
+        # "float16 (with float32 output) and int8 (with int32 output)"
+        assert FP16.cube_input and INT8.cube_input
+        assert not FP32.cube_input and not INT32.cube_input
+
+    def test_accumulators(self):
+        assert cube_accum_dtype(FP16) is FP32
+        assert cube_accum_dtype("int8") is INT32
+
+    def test_non_cube_dtype_rejected(self):
+        with pytest.raises(DTypeError):
+            cube_accum_dtype("fp32")

@@ -1,0 +1,107 @@
+"""Cost model tests."""
+
+import pytest
+
+from repro.errors import ConfigError, DTypeError, ShapeError
+from repro.hw.config import ASCEND_910B4
+from repro.hw.isa import CostModel, Op
+
+
+@pytest.fixture()
+def cm():
+    return CostModel(ASCEND_910B4)
+
+
+class TestMmadCost:
+    def test_fp16_full_tile(self, cm):
+        c = ASCEND_910B4.costs
+        cycles = cm.mmad_cycles(128, 128, 128, "fp16")
+        fractals = 8 * 8 * 8
+        assert cycles == pytest.approx(
+            c.mmad_issue_cycles + fractals / c.mmad_efficiency
+        )
+
+    def test_int8_double_rate(self, cm):
+        c = ASCEND_910B4.costs
+        f16 = cm.mmad_cycles(128, 128, 128, "fp16") - c.mmad_issue_cycles
+        i8 = cm.mmad_cycles(128, 128, 128, "int8") - c.mmad_issue_cycles
+        assert i8 == pytest.approx(f16 / 2)
+
+    def test_partial_fractal_rounds_up(self, cm):
+        # 17x17x17 needs 2x2x2 fractals, same as 32x32x32
+        assert cm.mmad_cycles(17, 17, 17, "fp16") == cm.mmad_cycles(
+            32, 32, 32, "fp16"
+        )
+
+    def test_rectangular(self, cm):
+        small = cm.mmad_cycles(16, 128, 128, "fp16")
+        big = cm.mmad_cycles(128, 128, 128, "fp16")
+        assert small < big
+
+    def test_non_cube_dtype(self, cm):
+        with pytest.raises(DTypeError):
+            cm.mmad_cycles(16, 16, 16, "fp32")
+
+    def test_bad_dims(self, cm):
+        with pytest.raises(ShapeError):
+            cm.mmad_cycles(0, 16, 16, "fp16")
+
+
+class TestVectorCost:
+    def test_issue_overhead_dominates_small_ops(self, cm):
+        c = ASCEND_910B4.costs
+        one_byte = cm.vector_cycles(1)
+        assert one_byte == pytest.approx(c.vec_issue_cycles + 1 / c.vec_bytes_per_cycle)
+
+    def test_per_instruction_overhead_scales(self, cm):
+        # this asymmetry is the paper's Section 4.1 insight: s instructions
+        # over the same bytes cost far more than one
+        bytes_total = 32768
+        one = cm.vector_cycles(bytes_total, n_instructions=1)
+        many = cm.vector_cycles(bytes_total, n_instructions=128)
+        assert many - one == pytest.approx(127 * ASCEND_910B4.costs.vec_issue_cycles)
+
+    def test_invalid_args(self, cm):
+        with pytest.raises(ConfigError):
+            cm.vector_cycles(-1)
+        with pytest.raises(ConfigError):
+            cm.vector_cycles(10, n_instructions=0)
+
+
+class TestFlows:
+    def test_effective_bytes_all_hit(self, cm):
+        mem = ASCEND_910B4.memory
+        eff = cm.flow_effective_bytes(1000, 1000)
+        assert eff == pytest.approx(
+            1000 * mem.hbm_bandwidth_gbps / mem.l2_bandwidth_gbps
+        )
+
+    def test_effective_bytes_all_miss_pays_dram_inefficiency(self, cm):
+        mem = ASCEND_910B4.memory
+        eff = cm.flow_effective_bytes(1000, 0)
+        assert eff == pytest.approx(1000 / mem.dram_efficiency)
+        assert eff > 1000
+
+    def test_effective_bytes_mixed(self, cm):
+        all_hit = cm.flow_effective_bytes(1000, 1000)
+        all_miss = cm.flow_effective_bytes(1000, 0)
+        mixed = cm.flow_effective_bytes(1000, 500)
+        assert all_hit < mixed < all_miss
+
+    def test_hit_bytes_validated(self, cm):
+        with pytest.raises(ConfigError):
+            cm.flow_effective_bytes(100, 200)
+
+    def test_mte_fixed_cost(self, cm):
+        assert cm.mte_fixed_ns() > ASCEND_910B4.memory.gm_latency_ns
+
+
+class TestOp:
+    def test_flow_detection(self):
+        flow = Op(op_id=0, engine=0, kind="mte_in", label="x", gm_bytes=64)
+        fixed = Op(op_id=1, engine=0, kind="vec", label="y", cycles=10)
+        assert flow.is_flow and not fixed.is_flow
+
+    def test_barrier_detection(self):
+        b = Op(op_id=0, engine=0, kind="barrier", label="SyncAll")
+        assert b.is_barrier

@@ -1,0 +1,142 @@
+"""Global memory allocator and tensor handle tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, ShapeError
+from repro.hw.config import toy_config
+from repro.hw.memory import GlobalMemory
+
+
+@pytest.fixture()
+def mem():
+    return GlobalMemory(toy_config())
+
+
+class TestAlloc:
+    def test_zero_initialised(self, mem):
+        t = mem.alloc("x", 100, "fp16")
+        assert np.all(t.to_numpy() == 0)
+
+    def test_alignment(self, mem):
+        a = mem.alloc("a", 3, "int8")
+        b = mem.alloc("b", 3, "int8")
+        assert a.base_addr % GlobalMemory.ALIGN == 0
+        assert b.base_addr % GlobalMemory.ALIGN == 0
+        assert b.base_addr > a.base_addr
+
+    def test_capacity_enforced(self, mem):
+        with pytest.raises(AllocationError):
+            mem.alloc("huge", mem.capacity + 1, "int8")
+
+    def test_2d_shape(self, mem):
+        t = mem.alloc("m", (4, 8), "fp16")
+        assert t.shape == (4, 8)
+        assert t.num_elements == 32
+        assert t.nbytes == 64
+
+    def test_unique_ids(self, mem):
+        a = mem.alloc("a", 4, "fp16")
+        b = mem.alloc("b", 4, "fp16")
+        assert a.tensor_id != b.tensor_id
+
+
+class TestHostAccess:
+    def test_write_roundtrip(self, mem, rng):
+        t = mem.alloc("x", 64, "fp16")
+        vals = rng.standard_normal(64).astype(np.float16)
+        t.write(vals)
+        assert np.array_equal(t.to_numpy(), vals)
+
+    def test_write_casts(self, mem):
+        t = mem.alloc("x", 4, "int32")
+        t.write(np.array([1.7, 2.0, 3.0, 4.0]))
+        assert t.to_numpy().dtype == np.int32
+
+    def test_write_wrong_size(self, mem):
+        t = mem.alloc("x", 4, "fp16")
+        with pytest.raises(ShapeError):
+            t.write(np.zeros(5))
+
+    def test_to_numpy_is_a_copy(self, mem):
+        t = mem.alloc("x", 4, "fp16")
+        out = t.to_numpy()
+        out[0] = 9
+        assert t.to_numpy()[0] == 0
+
+
+class TestSlices:
+    def test_slice_bounds(self, mem):
+        t = mem.alloc("x", 10, "fp16")
+        with pytest.raises(ShapeError):
+            t.slice(8, 4)
+        with pytest.raises(ShapeError):
+            t.slice(-1, 2)
+
+    def test_slice_view_aliases_storage(self, mem):
+        t = mem.alloc("x", 10, "fp16")
+        t.write(np.arange(10))
+        s = t.slice(2, 4)
+        assert np.array_equal(s.array, [2, 3, 4, 5])
+        s.array[:] = 0
+        assert t.to_numpy()[2] == 0
+
+    def test_byte_start(self, mem):
+        t = mem.alloc("x", 10, "fp32")
+        s = t.slice(3, 2)
+        assert s.byte_start == t.base_addr + 12
+        assert s.nbytes == 8
+
+    def test_sub_slice(self, mem):
+        t = mem.alloc("x", 10, "fp16")
+        t.write(np.arange(10))
+        s = t.slice(2, 6).sub(1, 3)
+        assert np.array_equal(s.array, [3, 4, 5])
+        with pytest.raises(ShapeError):
+            t.slice(2, 6).sub(4, 4)
+
+    def test_row(self, mem):
+        t = mem.alloc("m", (3, 4), "fp16")
+        t.write(np.arange(12).reshape(3, 4))
+        assert np.array_equal(t.row(1).array, [4, 5, 6, 7])
+        with pytest.raises(ShapeError):
+            t.row(3)
+        flat = mem.alloc("f", 4, "fp16")
+        with pytest.raises(ShapeError):
+            flat.row(0)
+
+    def test_prefix_shares_backing(self, mem):
+        t = mem.alloc("x", 10, "fp16")
+        t.write(np.arange(10))
+        p = t.prefix(4)
+        assert p.num_elements == 4
+        assert p.tensor_id == t.tensor_id
+        assert p.base_addr == t.base_addr
+        p.flat[0] = 99
+        assert t.to_numpy()[0] == 99
+        with pytest.raises(ShapeError):
+            t.prefix(11)
+
+
+class TestMarkRelease:
+    def test_release_frees_space(self, mem):
+        mem.alloc("keep", 128, "fp16")
+        mark = mem.mark()
+        mem.alloc("tmp", 1024, "fp16")
+        used = mem.used_bytes
+        mem.release(mark)
+        assert mem.used_bytes < used
+        assert len(mem.tensors) == 1
+
+    def test_stale_mark_rejected(self, mem):
+        mark = mem.mark()
+        mem.alloc("a", 8, "fp16")
+        mem.release(mark)
+        with pytest.raises(AllocationError):
+            mem.release((mark[0] + 512, mark[1] + 1))
+
+    def test_reset(self, mem):
+        mem.alloc("a", 8, "fp16")
+        mem.reset()
+        assert mem.used_bytes == 0
+        assert mem.tensors == ()

@@ -1,0 +1,104 @@
+"""Trace statistics and export tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hw.config import toy_config
+from repro.hw.device import AscendDevice
+from repro.lang import Kernel, intrinsics as I
+from repro.lang.tensor import BufferKind
+
+
+class _RoundTrip(Kernel):
+    """Read a tile, add a scalar, write it back."""
+
+    mode = "vec"
+
+    def __init__(self, x, y):
+        super().__init__(1)
+        self.x = x
+        self.y = y
+
+    def run(self, ctx):
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        q = pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=4096)
+        t = q.alloc_tensor("fp16", 2048)
+        I.data_copy(ctx, t, self.x.whole())
+        I.adds(ctx, t, t, 1.0)
+        I.data_copy(ctx, self.y.whole(), t)
+        q.free_tensor(t)
+
+
+@pytest.fixture()
+def round_trip_trace(toy_device):
+    x = toy_device.alloc("x", 2048, "fp16")
+    y = toy_device.alloc("y", 2048, "fp16")
+    x.write(np.zeros(2048, dtype=np.float16))
+    return toy_device.launch(_RoundTrip(x, y), label="roundtrip")
+
+
+class TestTraffic:
+    def test_byte_accounting_exact(self, round_trip_trace):
+        t = round_trip_trace
+        assert t.gm_read_bytes() == 2048 * 2
+        assert t.gm_write_bytes() == 2048 * 2
+        assert t.gm_bytes() == 2048 * 4
+
+    def test_l2_hit_bytes_bounded(self, round_trip_trace):
+        assert 0 <= round_trip_trace.l2_hit_bytes() <= round_trip_trace.gm_bytes()
+
+
+class TestEngineStats:
+    def test_busy_time_positive_for_used_engines(self, round_trip_trace):
+        stats = {s.info.label: s for s in round_trip_trace.engine_stats()}
+        assert stats["aiv0.mte_in"].busy_ns > 0
+        assert stats["aiv0.vec"].busy_ns > 0
+        assert stats["aiv0.mte_out"].busy_ns > 0
+
+    def test_busiest_engine(self, round_trip_trace):
+        busiest = round_trip_trace.busiest_engine()
+        assert busiest.busy_ns == max(
+            s.busy_ns for s in round_trip_trace.engine_stats()
+        )
+
+    def test_utilization_in_unit_interval(self, round_trip_trace):
+        for s in round_trip_trace.engine_stats():
+            assert 0.0 <= s.utilization(round_trip_trace.device_ns) <= 1.0
+
+    def test_op_count_by_kind(self, round_trip_trace):
+        counts = round_trip_trace.op_count_by_kind()
+        assert counts["mte_in"] == 1
+        assert counts["mte_out"] == 1
+        assert counts["vec"] == 1
+
+
+class TestExport:
+    def test_chrome_trace_is_valid_json(self, round_trip_trace):
+        doc = json.loads(round_trip_trace.to_chrome_trace())
+        assert len(doc["traceEvents"]) == len(round_trip_trace.ops)
+        ev = doc["traceEvents"][0]
+        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(ev)
+
+    def test_summary_mentions_label(self, round_trip_trace):
+        assert "roundtrip" in round_trip_trace.summary()
+
+
+class TestTimelineSanity:
+    def test_ops_do_not_overlap_per_engine(self, round_trip_trace):
+        by_engine = {}
+        for op in round_trip_trace.ops:
+            by_engine.setdefault(op.engine, []).append(
+                round_trip_trace.timeline.span(op.op_id)
+            )
+        for spans in by_engine.values():
+            spans.sort()
+            for (s1, f1), (s2, _f2) in zip(spans, spans[1:]):
+                assert s2 >= f1 - 1e-9
+
+    def test_deps_respected(self, round_trip_trace):
+        tl = round_trip_trace.timeline
+        for op in round_trip_trace.ops:
+            for d in op.deps:
+                assert tl.span(op.op_id)[0] >= tl.span(d)[1] - 1e-9

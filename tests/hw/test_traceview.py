@@ -1,0 +1,62 @@
+"""ASCII timeline renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ScanContext
+from repro.core.reference import exact_fp16_scan_input
+from repro.hw.traceview import KIND_GLYPHS, render_timeline
+
+
+@pytest.fixture(scope="module")
+def mcscan_trace():
+    ctx = ScanContext()
+    rng = np.random.default_rng(0)
+    x, _ = exact_fp16_scan_input(1 << 18, rng)
+    return ctx.scan(x, algorithm="mcscan").trace
+
+
+class TestRenderTimeline:
+    def test_contains_header_and_legend(self, mcscan_trace):
+        out = render_timeline(mcscan_trace, width=60)
+        assert "timeline:" in out
+        assert "legend:" in out
+
+    def test_row_width(self, mcscan_trace):
+        out = render_timeline(mcscan_trace, width=50, max_engines=4)
+        glyphs = set(KIND_GLYPHS.values()) | {"."}
+        rows = [
+            line.split()[-1]
+            for line in out.splitlines()
+            if line.strip().startswith(("aic", "aiv", "dev"))
+            and set(line.split()[-1]) <= glyphs
+        ]
+        assert rows
+        for row in rows:
+            assert len(row) == 50
+
+    def test_max_engines_cap(self, mcscan_trace):
+        out = render_timeline(mcscan_trace, width=40, max_engines=3)
+        body = [
+            line for line in out.splitlines()
+            if line.strip().startswith(("aic", "aiv", "dev"))
+        ]
+        assert len(body) <= 3
+        assert "more engines hidden" in out
+
+    def test_glyphs_present(self, mcscan_trace):
+        """MCScan shows matmuls (cube cores) and chain propagation (vec)."""
+        out = render_timeline(mcscan_trace, width=120, max_engines=200)
+        assert KIND_GLYPHS["mmad"] in out
+        assert KIND_GLYPHS["vec_chain"] in out
+        assert KIND_GLYPHS["mte_in"] in out
+
+    def test_empty_trace(self, toy_device):
+        from repro.hw.scheduler import Timeline
+        from repro.hw.trace import Trace
+
+        empty = Trace(
+            ops=[], timeline=Timeline([], [], 0.0),
+            engines=[], config=toy_device.config,
+        )
+        assert render_timeline(empty) == "(empty trace)"

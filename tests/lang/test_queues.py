@@ -1,0 +1,111 @@
+"""TPipe/TQue semantics tests."""
+
+import pytest
+
+from repro.errors import BufferOverflowError, QueueError
+from repro.hw.config import BufferConfig
+from repro.lang.queues import TPipe, TQue
+from repro.lang.tensor import BufferKind
+
+
+def make_pipe(core_kind="aiv"):
+    return TPipe(core_kind=core_kind, core_index=0, buffers=BufferConfig())
+
+
+class TestTPipeBudget:
+    def test_ub_budget_enforced(self):
+        pipe = make_pipe()
+        pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=64 * 1024)
+        with pytest.raises(BufferOverflowError):
+            pipe.init_buffer(buffer=BufferKind.UB, depth=2, slot_bytes=64 * 1024)
+
+    def test_reservations_accumulate(self):
+        pipe = make_pipe()
+        pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=1024)
+        pipe.init_buffer(buffer=BufferKind.UB, depth=3, slot_bytes=2048)
+        assert pipe.reserved_bytes(BufferKind.UB) == 1024 + 3 * 2048
+
+    def test_vector_core_has_only_ub(self):
+        pipe = make_pipe("aiv")
+        with pytest.raises(BufferOverflowError):
+            pipe.init_buffer(buffer=BufferKind.L0A, depth=1, slot_bytes=64)
+
+    def test_cube_core_has_no_ub(self):
+        pipe = make_pipe("aic")
+        with pytest.raises(BufferOverflowError):
+            pipe.init_buffer(buffer=BufferKind.UB, depth=1, slot_bytes=64)
+
+    def test_cube_buffers_allowed(self):
+        pipe = make_pipe("aic")
+        for buf in (BufferKind.L1, BufferKind.L0A, BufferKind.L0B, BufferKind.L0C):
+            pipe.init_buffer(buffer=buf, depth=1, slot_bytes=1024)
+
+
+class TestTQue:
+    def make_queue(self, depth=2, slot_bytes=1024):
+        return make_pipe().init_buffer(
+            buffer=BufferKind.UB, depth=depth, slot_bytes=slot_bytes
+        )
+
+    def test_alloc_within_slot(self):
+        q = self.make_queue()
+        t = q.alloc_tensor("fp16", 512)
+        assert t.length == 512
+
+    def test_alloc_exceeding_slot(self):
+        q = self.make_queue(slot_bytes=128)
+        with pytest.raises(BufferOverflowError):
+            q.alloc_tensor("fp16", 128)
+
+    def test_depth_exhaustion(self):
+        q = self.make_queue(depth=2)
+        q.alloc_tensor("fp16", 8)
+        q.alloc_tensor("fp16", 8)
+        with pytest.raises(QueueError):
+            q.alloc_tensor("fp16", 8)
+
+    def test_free_recycles_slot(self):
+        q = self.make_queue(depth=1)
+        t = q.alloc_tensor("fp16", 8)
+        q.free_tensor(t)
+        t2 = q.alloc_tensor("fp16", 8)
+        # reuse carries the slot hazard, serialising against the old tensor
+        assert t2.hazard is t.hazard
+
+    def test_double_buffer_slots_have_distinct_hazards(self):
+        q = self.make_queue(depth=2)
+        a = q.alloc_tensor("fp16", 8)
+        b = q.alloc_tensor("fp16", 8)
+        assert a.hazard is not b.hazard
+
+    def test_enque_deque_fifo(self):
+        q = self.make_queue(depth=2)
+        a = q.alloc_tensor("fp16", 8)
+        b = q.alloc_tensor("fp16", 8)
+        q.enque(a)
+        q.enque(b)
+        assert q.deque() is a
+        assert q.deque() is b
+
+    def test_deque_empty(self):
+        q = self.make_queue()
+        with pytest.raises(QueueError):
+            q.deque()
+
+    def test_enque_foreign_tensor(self):
+        q = self.make_queue()
+        other = self.make_queue().alloc_tensor("fp16", 8)
+        with pytest.raises(QueueError):
+            q.enque(other)
+
+    def test_double_free(self):
+        q = self.make_queue()
+        t = q.alloc_tensor("fp16", 8)
+        q.free_tensor(t)
+        with pytest.raises(QueueError):
+            q.free_tensor(t)
+
+    def test_invalid_depth(self):
+        with pytest.raises(QueueError):
+            TQue(buffer=BufferKind.UB, depth=0, slot_bytes=8,
+                 core_kind="aiv", core_index=0)

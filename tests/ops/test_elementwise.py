@@ -1,0 +1,101 @@
+"""Elementwise / predicate kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, ShapeError
+from repro.ops.elementwise import (
+    ElementwiseMapKernel,
+    PredicateCountKernel,
+    RangeCopyKernel,
+)
+
+
+class TestElementwiseMap:
+    def test_map(self, toy_device, rng):
+        x = toy_device.alloc("x", 40000, "fp16")
+        y = toy_device.alloc("y", 40000, "fp16")
+        vals = rng.standard_normal(40000).astype(np.float16)
+        x.write(vals)
+        toy_device.launch(ElementwiseMapKernel(x, y, lambda v: -v, 4))
+        assert np.array_equal(y.to_numpy(), -vals)
+
+    def test_dtype_change(self, toy_device, rng):
+        x = toy_device.alloc("x", 1000, "fp16")
+        y = toy_device.alloc("y", 1000, "uint16")
+        vals = rng.standard_normal(1000).astype(np.float16)
+        x.write(vals)
+        toy_device.launch(
+            ElementwiseMapKernel(x, y, lambda v: v.view(np.uint16), 2)
+        )
+        assert np.array_equal(y.to_numpy(), vals.view(np.uint16))
+
+    def test_length_mismatch(self, toy_device):
+        x = toy_device.alloc("x", 10, "fp16")
+        y = toy_device.alloc("y", 11, "fp16")
+        with pytest.raises(ShapeError):
+            ElementwiseMapKernel(x, y, lambda v: v, 1)
+
+
+class TestPredicateCount:
+    def _run(self, device, vals, op, scalar, bd=3):
+        x = device.alloc("x", vals.size, "fp32")
+        x.write(vals)
+        mask = device.alloc("m", vals.size, "int8")
+        counts = device.alloc("c", bd, "int32")
+        device.launch(PredicateCountKernel(x, mask, counts, op, scalar, bd))
+        return mask.to_numpy(), int(counts.to_numpy().sum())
+
+    def test_count_and_mask(self, toy_device, rng):
+        vals = rng.standard_normal(50000).astype(np.float32)
+        mask, count = self._run(toy_device, vals, "gt", 0.5)
+        assert count == int((vals > 0.5).sum())
+        assert np.array_equal(mask.astype(bool), vals > 0.5)
+
+    def test_monotone_cut_position(self, toy_device):
+        """For a monotone array the count IS the cut position."""
+        vals = np.cumsum(np.ones(10000, dtype=np.float32))
+        _, count = self._run(toy_device, vals, "le", 1234.5)
+        assert count == 1234
+
+    def test_mask_dtype_enforced(self, toy_device):
+        x = toy_device.alloc("x", 10, "fp32")
+        m = toy_device.alloc("m", 10, "fp16")
+        c = toy_device.alloc("c", 1, "int32")
+        with pytest.raises(KernelError):
+            PredicateCountKernel(x, m, c, "gt", 0.0, 1)
+
+    def test_counts_shape_enforced(self, toy_device):
+        x = toy_device.alloc("x", 10, "fp32")
+        m = toy_device.alloc("m", 10, "int8")
+        c = toy_device.alloc("c", 1, "int32")
+        with pytest.raises(KernelError):
+            PredicateCountKernel(x, m, c, "gt", 0.0, 2)
+
+
+class TestRangeCopy:
+    def test_offset_copy(self, toy_device, rng):
+        src = toy_device.alloc("s", 30000, "int32")
+        dst = toy_device.alloc("d", 10000, "int32")
+        vals = rng.integers(0, 1 << 30, 30000).astype(np.int32)
+        src.write(vals)
+        toy_device.launch(RangeCopyKernel(src, dst, 5000, 10000, 4))
+        assert np.array_equal(dst.to_numpy(), vals[5000:15000])
+
+    def test_mapped_copy(self, toy_device, rng):
+        src = toy_device.alloc("s", 1000, "fp16")
+        dst = toy_device.alloc("d", 1000, "fp16")
+        vals = rng.standard_normal(1000).astype(np.float16)
+        src.write(vals)
+        toy_device.launch(
+            RangeCopyKernel(src, dst, 0, 1000, 2, fn=lambda v: -v)
+        )
+        assert np.array_equal(dst.to_numpy(), -vals)
+
+    def test_bounds(self, toy_device):
+        src = toy_device.alloc("s", 100, "fp16")
+        dst = toy_device.alloc("d", 100, "fp16")
+        with pytest.raises(ShapeError):
+            RangeCopyKernel(src, dst, 50, 60, 1)
+        with pytest.raises(ShapeError):
+            RangeCopyKernel(src, dst, 0, 0, 1)

@@ -1,0 +1,58 @@
+"""8-bit (low-precision) operator support — the paper's Section 6.3
+outlook implemented: iterations equal the key bit-width."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import stable_split
+
+
+class TestUint8RadixSort:
+    def test_values_and_indices(self, ops, rng):
+        x = rng.integers(0, 256, 30000).astype(np.uint8)
+        res = ops.radix_sort(x)
+        assert np.array_equal(res.values, np.sort(x))
+        assert np.array_equal(res.indices, np.argsort(x, kind="stable"))
+
+    def test_descending(self, ops, rng):
+        x = rng.integers(0, 256, 10000).astype(np.uint8)
+        res = ops.radix_sort(x, descending=True)
+        assert np.array_equal(res.values, np.sort(x)[::-1])
+
+    def test_eight_split_iterations(self, ops, rng):
+        x = rng.integers(0, 256, 20000).astype(np.uint8)
+        res = ops.radix_sort(x)
+        splits = [t for t in res.traces if "split bit" in t.label]
+        assert len(splits) == 8
+
+    def test_stability(self, ops, rng):
+        x = rng.integers(0, 4, 10000).astype(np.uint8)
+        res = ops.radix_sort(x)
+        for v in np.unique(x):
+            idx = res.indices[res.values == v]
+            assert np.all(np.diff(idx) > 0)
+
+    def test_roughly_twice_as_fast_as_fp16(self, ops, rng):
+        """The predicted 2x of Section 6.3: half the bits, half the splits."""
+        n = 1 << 18
+        x8 = rng.integers(0, 256, n).astype(np.uint8)
+        x16 = rng.standard_normal(n).astype(np.float16)
+        t8 = ops.radix_sort(x8).time_ns
+        t16 = ops.radix_sort(x16).time_ns
+        assert 1.5 < t16 / t8 < 2.6
+
+
+class TestUint8Split:
+    def test_split_8bit_values(self, ops, rng):
+        x = rng.integers(0, 256, 20000).astype(np.uint8)
+        f = (rng.random(20000) < 0.5).astype(np.int8)
+        res = ops.split(x, f)
+        ev, ei = stable_split(x, f)
+        assert np.array_equal(res.values, ev)
+        assert np.array_equal(res.indices, ei)
+
+    def test_compress_8bit_values(self, ops, rng):
+        x = rng.integers(0, 256, 20000).astype(np.uint8)
+        m = (rng.random(20000) < 0.3).astype(np.int8)
+        res = ops.compress(x, m)
+        assert np.array_equal(res.values, x[m.astype(bool)])

@@ -1,0 +1,138 @@
+"""Radix sort tests (encode/decode, RadixSingle, full operator)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.ops.radix import decode_fp16_np, encode_fp16_np
+
+
+class TestEncoding:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal(1000).astype(np.float16)
+        assert np.array_equal(decode_fp16_np(encode_fp16_np(x)), x)
+
+    def test_order_preserving(self, rng):
+        x = rng.standard_normal(1000).astype(np.float16)
+        e = encode_fp16_np(x)
+        order_x = np.argsort(x.astype(np.float32), kind="stable")
+        order_e = np.argsort(e, kind="stable")
+        assert np.array_equal(x[order_x], x[order_e])
+
+    def test_special_values(self):
+        x = np.array([-np.inf, -1.0, -0.0, 0.0, 1.0, np.inf], dtype=np.float16)
+        e = encode_fp16_np(x).astype(np.int64)
+        # strictly monotone except -0.0/0.0 which may tie-order arbitrarily
+        assert e[0] < e[1] < e[2]
+        assert e[3] < e[4] < e[5]
+        assert e[2] < e[4]
+
+    def test_roundtrip_infinities(self):
+        x = np.array([np.inf, -np.inf], dtype=np.float16)
+        assert np.array_equal(decode_fp16_np(encode_fp16_np(x)), x)
+
+
+class TestRadixSort:
+    def test_fp16_values_and_indices(self, ops, rng):
+        n = 30000
+        x = rng.standard_normal(n).astype(np.float16)
+        res = ops.radix_sort(x)
+        assert np.array_equal(res.values, np.sort(x))
+        assert np.array_equal(
+            res.indices, np.argsort(x.astype(np.float32), kind="stable")
+        )
+
+    def test_descending(self, ops, rng):
+        x = rng.standard_normal(20000).astype(np.float16)
+        res = ops.radix_sort(x, descending=True)
+        assert np.array_equal(res.values, np.sort(x)[::-1])
+        # indices consistent with values
+        assert np.array_equal(x[res.indices], res.values)
+
+    def test_uint16(self, ops, rng):
+        x = rng.integers(0, 65536, 20000).astype(np.uint16)
+        res = ops.radix_sort(x)
+        assert np.array_equal(res.values, np.sort(x))
+        assert np.array_equal(res.indices, np.argsort(x, kind="stable"))
+
+    def test_uint16_descending(self, ops, rng):
+        x = rng.integers(0, 65536, 10000).astype(np.uint16)
+        res = ops.radix_sort(x, descending=True)
+        assert np.array_equal(res.values, np.sort(x)[::-1])
+
+    def test_negative_heavy(self, ops, rng):
+        x = (-np.abs(rng.standard_normal(10000)) * 100).astype(np.float16)
+        res = ops.radix_sort(x)
+        assert np.array_equal(res.values, np.sort(x))
+
+    def test_duplicates_stable(self, ops, rng):
+        x = rng.integers(0, 4, 10000).astype(np.float16)
+        res = ops.radix_sort(x)
+        # stability: indices of equal values are increasing
+        for v in np.unique(x):
+            idx = res.indices[res.values == v]
+            assert np.all(np.diff(idx) > 0)
+
+    def test_small_input(self, ops, rng):
+        x = rng.standard_normal(100).astype(np.float16)
+        res = ops.radix_sort(x)
+        assert np.array_equal(res.values, np.sort(x))
+
+    def test_sixteen_split_iterations(self, ops, rng):
+        """LSB radix over 16-bit keys: one split per bit (Section 5)."""
+        x = rng.standard_normal(20000).astype(np.float16)
+        res = ops.radix_sort(x)
+        split_launches = [t for t in res.traces if "split bit" in t.label]
+        assert len(split_launches) == 16
+
+    def test_rejects_2d(self, ops):
+        with pytest.raises(Exception):
+            ops.radix_sort(np.ones((4, 4), dtype=np.float16))
+
+
+class TestBaselineSort:
+    def test_values_and_indices(self, ops, rng):
+        n = 30000
+        x = rng.standard_normal(n).astype(np.float16)
+        res = ops.baseline_sort(x)
+        assert np.array_equal(res.values, np.sort(x))
+        assert np.array_equal(
+            res.indices, np.argsort(x.astype(np.float32), kind="stable")
+        )
+
+    def test_descending(self, ops, rng):
+        x = rng.standard_normal(20000).astype(np.float16)
+        res = ops.baseline_sort(x, descending=True)
+        assert np.array_equal(res.values, np.sort(x)[::-1])
+
+    def test_sub_segment_input(self, ops, rng):
+        """n below one sort segment: single in-core pass, no merges."""
+        x = rng.standard_normal(5000).astype(np.float16)
+        res = ops.baseline_sort(x)
+        assert np.array_equal(res.values, np.sort(x))
+
+    def test_non_power_of_two(self, ops, rng):
+        x = rng.standard_normal(100001).astype(np.float16)
+        res = ops.baseline_sort(x)
+        assert np.array_equal(res.values, np.sort(x))
+
+    def test_no_cube_usage(self, ops, rng):
+        x = rng.standard_normal(20000).astype(np.float16)
+        res = ops.baseline_sort(x)
+        for t in res.traces:
+            assert "mmad" not in t.op_count_by_kind()
+
+
+class TestFigure11Shape:
+    def test_radix_wins_large_loses_small(self, ops, rng):
+        """The paper's crossover: torch.sort wins below ~525K, radix wins
+        above with growing factor."""
+        small = rng.standard_normal(1 << 16).astype(np.float16)
+        t_r = ops.radix_sort(small).time_ns
+        t_b = ops.baseline_sort(small).time_ns
+        assert t_b < t_r  # baseline wins small
+
+        large = rng.standard_normal(1 << 20).astype(np.float16)
+        t_r = ops.radix_sort(large).time_ns
+        t_b = ops.baseline_sort(large).time_ns
+        assert 1.2 < t_b / t_r < 4.0  # radix wins large (paper: 1.3x-3.3x)

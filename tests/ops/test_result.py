@@ -1,0 +1,42 @@
+"""OperatorResult aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.ops.result import OperatorResult
+
+
+class _FakeTrace:
+    def __init__(self, total_ns, gm=0):
+        self.total_ns = total_ns
+        self._gm = gm
+
+    def gm_bytes(self):
+        return self._gm
+
+
+class TestOperatorResult:
+    def test_time_is_sum_of_launches(self):
+        res = OperatorResult(
+            np.zeros(1), [_FakeTrace(1000.0), _FakeTrace(2500.0)], 10, 60
+        )
+        assert res.time_ns == 3500.0
+        assert res.time_us == pytest.approx(3.5)
+        assert res.time_ms == pytest.approx(0.0035)
+        assert res.kernel_launches == 2
+
+    def test_bandwidth_and_throughput(self):
+        res = OperatorResult(np.zeros(1), [_FakeTrace(100.0)], 50, 600)
+        assert res.bandwidth_gbps == pytest.approx(6.0)
+        assert res.gelems_per_s == pytest.approx(0.5)
+
+    def test_zero_time_guard(self):
+        res = OperatorResult(np.zeros(1), [], 10, 60)
+        assert res.bandwidth_gbps == 0.0
+        assert res.gelems_per_s == 0.0
+
+    def test_gm_bytes_aggregates(self):
+        res = OperatorResult(
+            np.zeros(1), [_FakeTrace(1, gm=100), _FakeTrace(1, gm=250)], 1, 1
+        )
+        assert res.gm_bytes() == 350

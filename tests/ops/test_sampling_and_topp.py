@@ -1,0 +1,142 @@
+"""Weighted sampling and top-p (nucleus) sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, ShapeError
+from repro.ops.driver import MULTINOMIAL_MAX_SUPPORT
+from repro.ops.topp import TopPSampler
+
+
+def _expected_sample(w, theta):
+    cum = np.cumsum(w.astype(np.float64))
+    return int(np.searchsorted(cum, theta * cum[-1], side="right"))
+
+
+class TestWeightedSample:
+    def test_matches_inverse_transform(self, ops, rng):
+        w = rng.random(50000).astype(np.float16)
+        for theta in (0.0, 0.25, 0.5, 0.99):
+            res = ops.weighted_sample(w, theta=theta)
+            assert int(res.values[0]) == min(_expected_sample(w, theta), w.size - 1)
+
+    def test_point_mass(self, ops):
+        w = np.zeros(1000, dtype=np.float16)
+        w[123] = 1.0
+        res = ops.weighted_sample(w, theta=0.5)
+        assert int(res.values[0]) == 123
+
+    def test_random_theta_in_support(self, ops, rng):
+        w = rng.random(10000).astype(np.float16)
+        res = ops.weighted_sample(w, rng=rng)
+        assert 0 <= int(res.values[0]) < 10000
+
+    def test_rejects_negative_weights(self, ops):
+        w = np.array([1, -1, 1], dtype=np.float16)
+        with pytest.raises(KernelError):
+            ops.weighted_sample(w, theta=0.5)
+
+    def test_rejects_zero_mass(self, ops):
+        with pytest.raises(KernelError):
+            ops.weighted_sample(np.zeros(100, dtype=np.float16), theta=0.5)
+
+    def test_theta_range(self, ops):
+        w = np.ones(10, dtype=np.float16)
+        with pytest.raises(KernelError):
+            ops.weighted_sample(w, theta=1.5)
+
+
+class TestMultinomialBaseline:
+    def test_agrees_with_scan_sampler(self, ops, rng):
+        w = rng.random(30000).astype(np.float16)
+        a = ops.weighted_sample(w, theta=0.7)
+        b = ops.multinomial_baseline(w, theta=0.7)
+        # both are inverse-transform; fp rounding may shift the cut by a hair
+        assert abs(int(a.values[0]) - int(b.values[0])) <= 1
+
+    def test_support_limit(self, ops):
+        """The paper's functional contrast: torch.multinomial supports at
+        most 2^24 elements, the scan-based sampler has no limit."""
+        big = np.ones(MULTINOMIAL_MAX_SUPPORT + 1, dtype=np.float16)
+        with pytest.raises(KernelError):
+            ops.multinomial_baseline(big, theta=0.5)
+
+
+class TestTopP:
+    @pytest.fixture()
+    def probs(self, rng):
+        logits = rng.standard_normal(8192).astype(np.float32) * 2
+        p = np.exp(logits - logits.max())
+        return (p / p.sum()).astype(np.float16)
+
+    def test_backends_agree(self, ops, probs):
+        """Same nucleus cut up to the baseline's fp16-cumsum rounding; the
+        sampled *position* must be nearly identical (token ids at adjacent
+        positions can of course differ)."""
+        sampler = TopPSampler(ops)
+        a = sampler.sample(probs, 0.9, theta=0.4, backend="cube")
+        b = sampler.sample(probs, 0.9, theta=0.4, backend="baseline")
+        assert abs(a.extras["position"] - b.extras["position"]) <= 64
+        assert abs(a.extras["nucleus_size"] - b.extras["nucleus_size"]) <= 64
+
+    def test_sample_is_in_nucleus(self, ops, probs):
+        sampler = TopPSampler(ops)
+        res = sampler.sample(probs, 0.5, theta=0.99, backend="cube")
+        token = int(res.values[0])
+        # the token must be among the top `nucleus_size` probabilities
+        k = res.extras["nucleus_size"]
+        threshold = np.sort(probs.astype(np.float32))[::-1][k - 1]
+        assert float(probs[token]) >= threshold
+
+    def test_small_p_selects_top_token(self, ops, rng):
+        p = np.zeros(4096, dtype=np.float16)
+        p[77] = 0.9
+        p[12] = 0.1
+        sampler = TopPSampler(ops)
+        res = sampler.sample(p, 0.5, theta=0.5, backend="cube")
+        assert int(res.values[0]) == 77
+        assert res.extras["nucleus_size"] == 1
+
+    def test_nucleus_mass_definition(self, ops, probs):
+        sampler = TopPSampler(ops)
+        res = sampler.sample(probs, 0.9, theta=0.1, backend="cube")
+        k = res.extras["nucleus_size"]
+        sorted_p = np.sort(probs.astype(np.float64))[::-1]
+        exclusive_mass = sorted_p[:k - 1].sum() / sorted_p.sum()
+        assert exclusive_mass <= 0.9 + 1e-3
+
+    def test_seventeen_scans(self, ops, probs):
+        """Section 5: 'top-p executes 17 scans for each batch: 16 scan
+        operations for radix sort plus an additional scan'."""
+        sampler = TopPSampler(ops)
+        res = sampler.sample(probs, 0.9, theta=0.5, backend="cube")
+        scans = [
+            t for t in res.traces
+            if "split bit" in t.label or "cumsum (MCScan)" in t.label
+        ]
+        assert len(scans) == 17
+
+    def test_validation(self, ops, probs):
+        sampler = TopPSampler(ops)
+        with pytest.raises(KernelError):
+            sampler.sample(probs, 0.0)
+        with pytest.raises(KernelError):
+            sampler.sample(probs, 0.9, backend="gpu")
+        with pytest.raises(ShapeError):
+            sampler.sample(probs.reshape(64, -1), 0.9)
+        with pytest.raises(KernelError):
+            sampler.sample(probs.astype(np.float32), 0.9)
+
+    def test_baseline_scales_worse(self, ops, rng):
+        """Figure 13: the baseline's time grows much faster with the
+        distribution size."""
+        times = {}
+        sampler = TopPSampler(ops)
+        for n in (1 << 14, 1 << 17):
+            logits = rng.standard_normal(n).astype(np.float32)
+            p = np.exp(logits - logits.max())
+            p16 = (p / p.sum()).astype(np.float16)
+            cube = sampler.sample(p16, 0.9, theta=0.5, backend="cube").time_ns
+            base = sampler.sample(p16, 0.9, theta=0.5, backend="baseline").time_ns
+            times[n] = base / cube
+        assert times[1 << 17] > times[1 << 14]

@@ -1,0 +1,95 @@
+"""SplitInd operator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, ShapeError
+from repro.core.reference import stable_split
+
+
+class TestSplitCorrectness:
+    def test_basic(self, ops, rng):
+        x = rng.standard_normal(30000).astype(np.float16)
+        f = (rng.random(30000) < 0.5).astype(np.int8)
+        res = ops.split(x, f)
+        ev, ei = stable_split(x, f)
+        assert np.array_equal(res.values, ev)
+        assert np.array_equal(res.indices, ei)
+
+    @pytest.mark.parametrize("p_true", [0.0, 0.03, 0.97, 1.0])
+    def test_extreme_flag_densities(self, ops, rng, p_true):
+        n = 20000
+        x = rng.standard_normal(n).astype(np.float16)
+        f = (rng.random(n) < p_true).astype(np.int8)
+        res = ops.split(x, f)
+        ev, ei = stable_split(x, f)
+        assert np.array_equal(res.values, ev)
+        assert np.array_equal(res.indices, ei)
+
+    def test_stability(self, ops, rng):
+        """Equal values keep their original relative order."""
+        x = np.zeros(5000, dtype=np.float16)
+        f = (rng.random(5000) < 0.4).astype(np.int8)
+        res = ops.split(x, f)
+        true_idx = res.indices[: int(f.sum())]
+        false_idx = res.indices[int(f.sum()) :]
+        assert np.all(np.diff(true_idx) > 0)
+        assert np.all(np.diff(false_idx) > 0)
+
+    def test_uint16_values(self, ops, rng):
+        x = rng.integers(0, 65536, 10000).astype(np.uint16)
+        f = (rng.random(10000) < 0.5).astype(np.int8)
+        res = ops.split(x, f)
+        ev, _ = stable_split(x, f)
+        assert np.array_equal(res.values, ev)
+
+    def test_small_tile_size(self, ops, rng):
+        x = rng.standard_normal(5000).astype(np.float16)
+        f = (rng.random(5000) < 0.5).astype(np.int8)
+        res = ops.split(x, f, s=32)
+        ev, ei = stable_split(x, f)
+        assert np.array_equal(res.values, ev)
+        assert np.array_equal(res.indices, ei)
+
+    def test_unpadded_length(self, ops, rng):
+        """Padding flags with zeros must not corrupt the false side."""
+        n = 16384 + 777
+        x = rng.standard_normal(n).astype(np.float16)
+        f = (rng.random(n) < 0.3).astype(np.int8)
+        res = ops.split(x, f)
+        ev, ei = stable_split(x, f)
+        assert np.array_equal(res.values, ev)
+        assert np.array_equal(res.indices, ei)
+
+
+class TestSplitValidation:
+    def test_length_mismatch(self, ops, rng):
+        with pytest.raises(ShapeError):
+            ops.split(
+                np.ones(10, dtype=np.float16), np.ones(9, dtype=np.int8)
+            )
+
+    def test_rejects_32bit_values(self, ops):
+        # "SplitInd takes as input an array of 16-bit elements" (Section 5)
+        with pytest.raises(KernelError):
+            ops.split(np.ones(10, dtype=np.float32), np.ones(10, dtype=np.int8))
+
+
+class TestSplitStructure:
+    def test_single_launch_three_phases(self, ops, rng):
+        x = rng.standard_normal(40000).astype(np.float16)
+        f = (rng.random(40000) < 0.5).astype(np.int8)
+        res = ops.split(x, f)
+        assert res.kernel_launches == 1
+        barriers = sum(
+            1 for o in res.traces[0].ops if o.kind == "barrier"
+        )
+        assert barriers == 2  # MCScan phase boundary + gather boundary
+
+    def test_uses_exclusive_int8_mcscan(self, ops, rng):
+        """The mask scan runs on the cube units in int8 (Section 5)."""
+        x = rng.standard_normal(40000).astype(np.float16)
+        f = (rng.random(40000) < 0.5).astype(np.int8)
+        res = ops.split(x, f)
+        mmads = [o for o in res.traces[0].ops if o.kind == "mmad"]
+        assert len(mmads) > 0

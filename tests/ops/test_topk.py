@@ -1,0 +1,130 @@
+"""Top-k operator tests (quickselect + streaming baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+
+
+def _expected_topk(x, k):
+    order = np.lexsort((np.arange(x.size), -x.astype(np.float32)))[:k]
+    return x[order], order
+
+
+class TestQuickselectTopK:
+    def test_values(self, ops, rng):
+        x = rng.standard_normal(60000).astype(np.float16)
+        k = 100
+        res = ops.topk(x, k)
+        ev, _ = _expected_topk(x, k)
+        assert np.array_equal(res.values, ev)
+
+    def test_indices_point_at_values(self, ops, rng):
+        x = rng.standard_normal(60000).astype(np.float16)
+        res = ops.topk(x, 50)
+        assert np.array_equal(x[res.indices], res.values)
+
+    def test_k_equals_n_small(self, ops, rng):
+        x = rng.standard_normal(3000).astype(np.float16)
+        res = ops.topk(x, 3000)
+        assert np.array_equal(res.values, np.sort(x)[::-1])
+
+    def test_large_k(self, ops, rng):
+        x = rng.standard_normal(80000).astype(np.float16)
+        k = 4096
+        res = ops.topk(x, k)
+        ev, _ = _expected_topk(x, k)
+        assert np.array_equal(res.values, ev)
+
+    def test_k_validation(self, ops):
+        x = np.ones(10, dtype=np.float16)
+        with pytest.raises(KernelError):
+            ops.topk(x, 0)
+        with pytest.raises(KernelError):
+            ops.topk(x, 11)
+
+
+class TestBaselineTopK:
+    def test_values_and_indices(self, ops, rng):
+        x = rng.standard_normal(60000).astype(np.float16)
+        k = 128
+        res = ops.topk_baseline(x, k)
+        ev, ei = _expected_topk(x, k)
+        assert np.array_equal(res.values, ev)
+        assert np.array_equal(res.indices, ei)
+
+    def test_duplicates(self, ops, rng):
+        x = rng.integers(0, 8, 20000).astype(np.float16)
+        res = ops.topk_baseline(x, 64)
+        ev, ei = _expected_topk(x, 64)
+        assert np.array_equal(res.values, ev)
+        assert np.array_equal(res.indices, ei)
+
+    def test_single_read_of_input(self, ops, rng):
+        """The streaming baseline reads the input once."""
+        n = 1 << 17
+        x = rng.standard_normal(n).astype(np.float16)
+        res = ops.topk_baseline(x, 64)
+        assert res.traces[0].gm_read_bytes() == pytest.approx(n * 2, rel=0.01)
+
+
+class TestNegativeResult:
+    def test_baseline_wins_for_small_k(self, ops, rng):
+        """Paper Section 5: 'we could not improve the performance of the
+        baseline top-k for small values of k (k <= 4096)'."""
+        x = rng.standard_normal(1 << 18).astype(np.float16)
+        for k in (64, 1024):
+            t_quick = ops.topk(x, k).time_ns
+            t_base = ops.topk_baseline(x, k).time_ns
+            assert t_base < t_quick
+
+
+class TestRadixTopK:
+    """The RadiK-style radix select (paper Section 5's scalable direction)."""
+
+    def _expected(self, x, k):
+        order = np.lexsort((np.arange(x.size), -x.astype(np.float32)))[:k]
+        return x[order], order
+
+    def test_values(self, ops, rng):
+        x = rng.standard_normal(50000).astype(np.float16)
+        for k in (1, 100, 5000):
+            res = ops.topk_radix(x, k)
+            ev, _ = self._expected(x, k)
+            assert np.array_equal(res.values, ev)
+
+    def test_indices_tie_order(self, ops, rng):
+        x = rng.integers(0, 16, 30000).astype(np.float16)  # heavy ties
+        k = 500
+        res = ops.topk_radix(x, k)
+        ev, ei = self._expected(x, k)
+        assert np.array_equal(res.values, ev)
+        assert np.array_equal(res.indices, ei)
+
+    def test_k_equals_n(self, ops, rng):
+        x = rng.standard_normal(5000).astype(np.float16)
+        res = ops.topk_radix(x, 5000)
+        assert np.array_equal(res.values, np.sort(x)[::-1])
+
+    def test_negative_infinities(self, ops, rng):
+        x = rng.standard_normal(10000).astype(np.float16)
+        x[:100] = -np.inf
+        res = ops.topk_radix(x, 50)
+        ev, _ = self._expected(x, 50)
+        assert np.array_equal(res.values, ev)
+
+    def test_sixteen_counting_passes(self, ops, rng):
+        x = rng.standard_normal(20000).astype(np.float16)
+        res = ops.topk_radix(x, 128)
+        counting = [t for t in res.traces if t.label.startswith("count bit")]
+        assert len(counting) == 16
+
+    def test_scales_to_large_k(self, ops, rng):
+        """Where the streaming baseline degrades (per-core candidate state
+        grows with k), radix select stays flat - the RadiK claim."""
+        n = 1 << 18
+        x = rng.standard_normal(n).astype(np.float16)
+        k_large = 1 << 15
+        t_radix = ops.topk_radix(x, k_large).time_ns
+        t_base = ops.topk_baseline(x, k_large).time_ns
+        assert t_radix < t_base

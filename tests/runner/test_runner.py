@@ -1,0 +1,74 @@
+"""Experiment registry and reporting tests.
+
+Full experiment sweeps are exercised by the benchmarks; here we check the
+registry plumbing and the formatting with synthetic results, plus one real
+(tiny) experiment end to end.
+"""
+
+import math
+
+import pytest
+
+from repro.runner.experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from repro.runner.reporting import format_value, to_markdown, to_text
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig03", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
+            "fig13", "headline",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestFormatting:
+    @pytest.fixture()
+    def result(self):
+        return ExperimentResult(
+            exp_id="figXX",
+            title="A title",
+            paper_claim="a claim",
+            columns=["n", "bw"],
+            rows=[{"n": 1024, "bw": 123.456}, {"n": 2048, "bw": float("nan")}],
+            notes="a note",
+        )
+
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(1234.5) == "1,234"
+        assert format_value(12.34) == "12.3"
+        assert format_value(1.2345) == "1.23"
+        assert format_value(float("nan")) == "-"
+        assert format_value(0.0) == "0"
+        assert format_value("x") == "x"
+
+    def test_to_text(self, result):
+        text = to_text(result)
+        assert "figXX" in text and "a claim" in text and "a note" in text
+        assert "1,024" in text or "1024" in text
+
+    def test_to_markdown(self, result):
+        md = to_markdown(result)
+        assert md.count("|") >= 12
+        assert "### figXX" in md
+        assert "*Note:* a note" in md
+
+    def test_column_values(self, result):
+        assert result.column_values("n") == [1024, 2048]
+
+
+class TestLiveExperiment:
+    def test_fig09_end_to_end(self):
+        """Smallest real experiment: int8 vs fp16 throughput."""
+        res = run_experiment("fig09", quick=True)
+        assert len(res.rows) >= 3
+        for row in res.rows:
+            assert row["gelems_int8"] > 0
+            assert not math.isnan(row["int8_gain"])
+        # the headline shape: int8 gains, roughly 10%
+        last = res.rows[-1]
+        assert 1.0 < last["int8_gain"] < 1.3

@@ -1,0 +1,100 @@
+"""Integration tests: multi-kernel pipelines on the full 910B4 device."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ScanContext
+from repro.core.reference import exact_fp16_scan_input
+from repro.ops.driver import AscendOps
+from repro.ops.topp import TopPSampler
+
+
+class TestEndToEndLLMSampling:
+    """The full Figure-13 pipeline: logits -> probs -> nucleus token."""
+
+    def test_sampling_distribution_is_plausible(self, ops, rng):
+        vocab = 4096
+        logits = rng.standard_normal(vocab).astype(np.float32) * 4
+        probs = np.exp(logits - logits.max())
+        probs16 = (probs / probs.sum()).astype(np.float16)
+        sampler = TopPSampler(ops)
+        tokens = [
+            int(sampler.sample(probs16, 0.9, theta=t, backend="cube").values[0])
+            for t in (0.05, 0.35, 0.65, 0.95)
+        ]
+        # all sampled tokens have non-trivial probability
+        for t in tokens:
+            assert probs16[t] > 0
+        # low theta lands on the most probable token
+        assert tokens[0] == int(np.argmax(probs16))
+
+    def test_greedy_limit(self, ops, rng):
+        """p -> 0 reduces nucleus to the argmax token."""
+        vocab = 2048
+        probs = rng.random(vocab).astype(np.float16)
+        sampler = TopPSampler(ops)
+        res = sampler.sample(probs, 1e-4, theta=0.7, backend="cube")
+        assert int(res.values[0]) == int(
+            np.argmax(probs.astype(np.float32))
+        )
+
+
+class TestOperatorComposition:
+    def test_sort_then_scan_consistency(self, ops, scan_ctx, rng):
+        """cumsum(sort(x)) via device kernels equals the NumPy composition."""
+        x = np.abs(rng.standard_normal(20000)).astype(np.float16)
+        sorted_res = ops.radix_sort(x)
+        scan_res = scan_ctx.scan(sorted_res.values, algorithm="mcscan")
+        expected = np.cumsum(np.sort(x).astype(np.float32))
+        assert np.allclose(scan_res.values, expected, rtol=1e-3)
+
+    def test_split_twice_is_radix_step(self, ops, rng):
+        """Two manual split passes reproduce two radix-sort iterations."""
+        x = rng.integers(0, 4, 5000).astype(np.uint16)
+        f0 = ((x >> 0) & 1 == 0).astype(np.int8)
+        pass1, idx1 = (r := ops.split(x, f0)).values, r.indices
+        f1 = ((pass1 >> 1) & 1 == 0).astype(np.int8)
+        pass2 = ops.split(pass1, f1).values
+        assert np.array_equal(pass2, np.sort(x))
+
+    def test_compress_of_scan_mask(self, ops, scan_ctx, rng):
+        """Select elements whose running sum is below a threshold — a scan
+        feeding a compress, both on-device."""
+        x = rng.integers(0, 3, 30000).astype(np.int8)
+        scan = scan_ctx.scan(x, algorithm="mcscan")
+        mask = (scan.values < 1000).astype(np.int8)
+        res = ops.compress(x.astype(np.float16), mask)
+        assert res.values.size == int(mask.sum())
+
+
+class TestDeviceReuseAcrossOperators:
+    def test_interleaved_operators_share_device(self, rng):
+        ctx = ScanContext()
+        ops = AscendOps(ctx)
+        x, expected = exact_fp16_scan_input(30000, rng)
+        m = (rng.random(30000) < 0.5).astype(np.int8)
+        for _ in range(3):
+            assert np.array_equal(
+                ctx.scan(x, algorithm="mcscan").values, expected
+            )
+            ops.compress(x, m)
+            ops.radix_sort(x[:5000])
+        # memory stays bounded (stack discipline held through all ops)
+        assert ctx.device.memory.used_bytes < 32 * 1024 * 1024
+
+
+class TestScaleSweep:
+    @pytest.mark.parametrize("p", [12, 16, 20])
+    def test_mcscan_correct_across_scales(self, scan_ctx, rng, p):
+        n = 1 << p
+        x, expected = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan(x, algorithm="mcscan")
+        assert np.array_equal(res.values, expected)
+
+    def test_bandwidth_monotone_in_n(self, scan_ctx, rng):
+        """Larger inputs amortise launch/sync overheads (Figure 8 shape)."""
+        bws = []
+        for p in (14, 17, 20):
+            x, _ = exact_fp16_scan_input(1 << p, rng)
+            bws.append(scan_ctx.scan(x, algorithm="mcscan").bandwidth_gbps)
+        assert bws[0] < bws[1] < bws[2]

@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+algorithmic invariants of the scan kernels and operators.
+
+Each example runs a full device simulation, so example counts are kept
+moderate; the strategies are designed to hit padding edges (lengths around
+tile multiples) and extreme mask densities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.api import ScanContext
+from repro.core.reference import (
+    exclusive_scan,
+    inclusive_scan,
+    stable_split,
+    compress as ref_compress,
+)
+from repro.hw.hbm import waterfill
+from repro.ops.driver import AscendOps
+from repro.ops.radix import decode_fp16_np, encode_fp16_np
+
+# shared device state (constants cached across examples)
+_CTX = ScanContext()
+_OPS = AscendOps(_CTX)
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# lengths biased toward tile-boundary edges
+lengths = st.one_of(
+    st.integers(1, 300),
+    st.sampled_from([1023, 1024, 1025, 16383, 16384, 16385, 40000]),
+)
+
+
+@st.composite
+def int8_arrays(draw):
+    n = draw(lengths)
+    seed = draw(st.integers(0, 2 ** 31))
+    rng = np.random.default_rng(seed)
+    return rng.integers(-30, 31, n).astype(np.int8)
+
+
+@st.composite
+def fp16_small_int_arrays(draw):
+    n = draw(lengths)
+    seed = draw(st.integers(0, 2 ** 31))
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 5, n) - 2).astype(np.float16)
+
+
+class TestScanProperties:
+    @_SETTINGS
+    @given(x=int8_arrays(), s=st.sampled_from([32, 128]))
+    def test_mcscan_matches_oracle(self, x, s):
+        res = _CTX.scan(x, algorithm="mcscan", s=s)
+        assert np.array_equal(res.values, inclusive_scan(x))
+
+    @_SETTINGS
+    @given(x=int8_arrays())
+    def test_exclusive_inclusive_relation(self, x):
+        inc = _CTX.scan(x, algorithm="mcscan").values
+        exc = _CTX.scan(x, algorithm="mcscan", exclusive=True).values
+        assert exc[0] == 0
+        assert np.array_equal(exc[1:], inc[:-1])
+        assert np.array_equal(exc, exclusive_scan(x))
+
+    @_SETTINGS
+    @given(x=fp16_small_int_arrays(), algo=st.sampled_from(["scanu", "scanul1"]))
+    def test_single_core_agree_with_mcscan(self, x, algo):
+        a = _CTX.scan(x, algorithm=algo, s=32).values
+        b = _CTX.scan(x, algorithm="mcscan", s=32).values
+        assert np.array_equal(a, b)
+
+    @_SETTINGS
+    @given(x=int8_arrays())
+    def test_scan_last_element_is_total(self, x):
+        res = _CTX.scan(x, algorithm="mcscan")
+        assert res.values[-1] == int(x.astype(np.int64).sum())
+
+    @_SETTINGS
+    @given(x=int8_arrays())
+    def test_scan_differences_recover_input(self, x):
+        res = _CTX.scan(x, algorithm="mcscan")
+        recovered = np.diff(np.concatenate([[0], res.values]))
+        assert np.array_equal(recovered.astype(np.int8), x)
+
+
+class TestSplitProperties:
+    @_SETTINGS
+    @given(
+        n=st.integers(10, 5000),
+        seed=st.integers(0, 2 ** 31),
+        p=st.floats(0.0, 1.0),
+    )
+    def test_split_permutation_and_stability(self, n, seed, p):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n).astype(np.float16)
+        f = (rng.random(n) < p).astype(np.int8)
+        res = _OPS.split(x, f, s=32)
+        # the index output is a permutation
+        assert np.array_equal(np.sort(res.indices), np.arange(n))
+        # values are the gathered originals
+        assert np.array_equal(res.values, x[res.indices])
+        # matches the stable-split oracle
+        ev, ei = stable_split(x, f)
+        assert np.array_equal(res.indices, ei)
+
+    @_SETTINGS
+    @given(n=st.integers(10, 5000), seed=st.integers(0, 2 ** 31))
+    def test_compress_equals_boolean_indexing(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n).astype(np.float16)
+        m = (rng.random(n) < 0.5).astype(np.int8)
+        res = _OPS.compress(x, m, s=32)
+        assert np.array_equal(res.values, ref_compress(x, m))
+
+
+class TestSortProperties:
+    @_SETTINGS
+    @given(n=st.integers(2, 3000), seed=st.integers(0, 2 ** 31))
+    def test_radix_sort_sorted_and_permutation(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n).astype(np.float16)
+        res = _OPS.radix_sort(x, s=32)
+        assert np.array_equal(res.values, np.sort(x))
+        assert np.array_equal(np.sort(res.indices), np.arange(n))
+        assert np.array_equal(x[res.indices], res.values)
+
+    @_SETTINGS
+    @given(n=st.integers(2, 3000), seed=st.integers(0, 2 ** 31))
+    def test_radix_equals_baseline_sort(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 1 << 16, n).astype(np.uint16)
+        a = _OPS.radix_sort(x, s=32)
+        b = _OPS.baseline_sort(x.view(np.float16))
+        # comparing values via the stable argsort indices on distinct reps
+        assert np.array_equal(a.values, np.sort(x))
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 2 ** 31), n=st.integers(1, 4096))
+    def test_encode_fp16_monotone(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n).astype(np.float16)
+        e = encode_fp16_np(x)
+        assert np.array_equal(decode_fp16_np(e), x)
+        order = np.argsort(x.astype(np.float32), kind="stable")
+        assert np.all(np.diff(e[order].astype(np.int64)) >= 0)
+
+
+class TestSimulatorProperties:
+    @_SETTINGS
+    @given(
+        demands=st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=30),
+        pool=st.floats(0.1, 2000.0),
+    )
+    def test_waterfill_invariants(self, demands, pool):
+        rates = waterfill(demands, pool)
+        assert len(rates) == len(demands)
+        assert sum(rates) <= pool * (1 + 1e-9)
+        for r, d in zip(rates, demands):
+            assert 0 <= r <= d * (1 + 1e-9)
+        # max-min fairness: if a flow got less than its demand, no other
+        # flow got strictly more than it + epsilon unless also demand-capped
+        for i, (r, d) in enumerate(zip(rates, demands)):
+            if r < d - 1e-9:
+                for j, (r2, d2) in enumerate(zip(rates, demands)):
+                    assert r2 <= r + 1e-6 or r2 >= d2 - 1e-9
+
+    @_SETTINGS
+    @given(x=int8_arrays())
+    def test_timeline_invariants(self, x):
+        """Per-engine ops never overlap; deps always precede dependents."""
+        res = _CTX.scan(x, algorithm="mcscan", s=32)
+        trace = res.trace
+        tl = trace.timeline
+        by_engine = {}
+        for op in trace.ops:
+            by_engine.setdefault(op.engine, []).append(tl.span(op.op_id))
+            for d in op.deps:
+                assert tl.span(op.op_id)[0] >= tl.span(d)[1] - 1e-6
+        for spans in by_engine.values():
+            spans.sort()
+            for (s1, f1), (s2, _) in zip(spans, spans[1:]):
+                assert s2 >= f1 - 1e-6
