@@ -1,0 +1,47 @@
+"""Serve layer: plan-cache latency + request-batching throughput.
+
+Asserts the two serve-layer claims:
+
+* a plan-cache hit is at least 5x cheaper (host wall time) than the cold
+  path a first request pays (full kernel trace + validation + execute) —
+  checked on ScanUL1, the most emission-heavy kernel, and reported for
+  every algorithm;
+* N same-shape requests submitted individually and coalesced by the
+  service reach the simulated throughput of a direct batched-kernel call
+  on the same block to within 10% (when the batch fills its bucket the
+  service issues the identical op DAG, so the match is exact).
+
+Host-timing assertions use best-of repeats to tolerate shared-runner
+noise; the 5x bar is structural (emission is ~90% of the cold cost), not
+a tight performance bound.
+"""
+
+from repro.serve.bench import format_report, run_serve_bench
+
+N = 1 << 20
+BATCH = 16
+ROW_LEN = 1 << 16
+
+
+def test_serve_layer(benchmark, results_dir):
+    report = benchmark.pedantic(
+        run_serve_bench,
+        kwargs=dict(n=N, batch=BATCH, row_len=ROW_LEN, repeats=3),
+        iterations=1,
+        rounds=1,
+    )
+    text = format_report(report)
+    print()
+    print(text)
+    (results_dir / "serve.txt").write_text(text + "\n")
+
+    rows = {r["algorithm"]: r for r in report["plan_cache"]}
+    # every traced plan must have cross-validated against the oracle
+    assert all(r["validated"] for r in rows.values())
+    assert rows["scanul1"]["speedup"] >= 5.0
+    # the others clear the bar too, with margin for runner noise
+    assert all(r["speedup"] >= 3.0 for r in rows.values())
+
+    for r in report["batched"]:
+        assert r["coalesced"]
+        assert 0.9 <= r["throughput_ratio"] <= 1.1

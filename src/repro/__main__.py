@@ -7,6 +7,8 @@ Subcommands:
   bandwidth (optionally an ASCII timeline of the launch);
 * ``experiment`` — regenerate one of the paper's figures (or ``all``) and
   print its series table;
+* ``serve-bench`` — measure the plan-cached serving layer (cache-hit
+  latency vs trace-every-call, batched-submission throughput);
 * ``sort`` / ``compress`` / ``topp`` — run one operator comparison.
 
 Examples::
@@ -106,6 +108,25 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from .serve.bench import format_report, run_serve_bench
+
+    report = run_serve_bench(
+        n=_parse_size(args.n),
+        batch=args.batch,
+        row_len=_parse_size(args.row_len),
+        dtype=args.dtype,
+        repeats=args.repeats,
+    )
+    text = format_report(report)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"\nwrote report to {args.out}")
+    return 0
+
+
 def cmd_sort(args) -> int:
     n = _parse_size(args.n)
     rng = np.random.default_rng(args.seed)
@@ -185,6 +206,20 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--markdown", action="store_true")
     pe.add_argument("--out", help="write the table(s) to a file")
     pe.set_defaults(fn=cmd_experiment)
+
+    pv = sub.add_parser(
+        "serve-bench", help="benchmark the plan-cached serving layer"
+    )
+    pv.add_argument("-n", default="1M", help="1-D request length (K/M/G)")
+    pv.add_argument("--batch", type=int, default=16,
+                    help="requests coalesced per batched launch")
+    pv.add_argument("--row-len", default="64K",
+                    help="row length of batched requests (K/M/G)")
+    pv.add_argument("--dtype", default="fp16", choices=("fp16", "int8"))
+    pv.add_argument("--repeats", type=int, default=3,
+                    help="best-of repeats for host timings")
+    pv.add_argument("--out", help="also write the report to a file")
+    pv.set_defaults(fn=cmd_serve_bench)
 
     po = sub.add_parser("sort", help="radix sort vs torch.sort")
     po.add_argument("-n", default="1M")

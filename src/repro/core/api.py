@@ -7,25 +7,47 @@ exposes the scan variants as plain array-in / array-out calls.  Every call
 returns a :class:`ScanResult` with the numerical result *and* the execution
 trace, from which the paper's metrics (time, GB/s, GElems/s) derive.
 
-HBM is managed with stack discipline (mark/release around each call), so a
-long benchmark sweep reuses device memory without reallocating constants.
+Two execution disciplines are offered:
+
+* **one-shot** (:meth:`ScanContext.scan` and friends) — upload, trace the
+  kernel, schedule, read back; HBM is managed with stack discipline
+  (mark/release around each call), so a long benchmark sweep reuses device
+  memory without reallocating constants;
+* **planned** (:meth:`ScanContext.build_plan` / :meth:`ScanPlan.execute`)
+  — the expensive Python-level kernel trace (op-DAG emission plus hazard
+  analysis) runs once per shape; each subsequent execution re-runs only the
+  functional NumPy computation and the discrete-event scheduler.  This is
+  the substrate of the request-serving layer in :mod:`repro.serve`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import KernelError, ShapeError
 from ..hw.config import ASCEND_910B4, DeviceConfig
 from ..hw.datatypes import DType, as_dtype, cube_accum_dtype
-from ..hw.device import AscendDevice
+from ..hw.device import AscendDevice, TracedKernel
+from ..hw.memory import GlobalTensor
 from ..hw.trace import Trace
-from .batched import BatchedScanUKernel, BatchedScanUL1Kernel
+from .batched import (
+    BatchedScanUKernel,
+    BatchedScanUL1Kernel,
+    batched_kernel_cls,
+    default_batched_block_dim,
+)
 from .copykernel import CopyKernel
 from .matrices import ScanConstants, batched_tile_rows, padded_length, upload_constants
 from .mcscan import MCScanKernel
+from .replay import (
+    plan_compute,
+    plan_compute_batched,
+    validation_input,
+    validation_tolerance,
+)
 from .scanu import ScanUKernel
 from .strategies import LookbackScanKernel, RSSScanKernel, SSAScanKernel
 from .scanul1 import ScanUL1Kernel
@@ -34,6 +56,7 @@ from .vector_baseline import BatchedCumSumKernel, CumSumKernel, CUMSUM_COLS
 __all__ = [
     "ScanContext",
     "ScanResult",
+    "ScanPlan",
     "SCAN_ALGORITHMS",
     "BATCHED_ALGORITHMS",
     "SCAN_STRATEGIES",
@@ -73,6 +96,136 @@ class ScanResult:
     @property
     def gelems_per_s(self) -> float:
         return self.n_elements / self.trace.total_ns  # elements/ns == GElems/s
+
+
+@dataclass
+class ScanPlan:
+    """A traced, reusable scan operator for one (algorithm, shape, dtype).
+
+    Device tensors, constant uploads and the emitted op DAG persist across
+    executions; :meth:`execute` re-runs only the canonical functional
+    computation (:mod:`repro.core.replay`) and the scheduler.  Plans hold
+    their GM tensors for the lifetime of the owning :class:`ScanContext`
+    (the bump allocator has no per-plan free), so build plans for the
+    working set of shapes you intend to serve, not per request.
+    """
+
+    ctx: "ScanContext"
+    algorithm: str
+    s: int
+    in_dtype: DType
+    out_dtype: DType
+    #: padded 1-D length, or padded row length for batched plans
+    padded: int
+    #: padding granularity requests must round up to (tile / CUMSUM_COLS)
+    pad_unit: int
+    #: batch row capacity for batched plans, None for 1-D plans
+    batch: "int | None"
+    block_dim: "int | None"
+    exclusive: bool
+    x_gm: GlobalTensor
+    y_gm: GlobalTensor
+    traced: TracedKernel
+    #: host seconds spent building (trace + validation) — the cold cost
+    build_host_s: float
+    #: True if build-time validation ran and agreed; None if skipped
+    validated: "bool | None"
+    #: max |kernel - functional| observed at build time (float64 scale)
+    build_max_err: float
+    executions: int = field(default=0)
+
+    @property
+    def is_batched(self) -> bool:
+        return self.batch is not None
+
+    @property
+    def key(self) -> tuple:
+        """Canonical cache key (see ``repro.serve.plan.PlanCache``)."""
+        return (
+            self.algorithm,
+            self.padded,
+            self.in_dtype.name,
+            self.batch,
+            self.s,
+            self.exclusive,
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def _check_dtype(self, x: np.ndarray) -> None:
+        if np.dtype(x.dtype) != self.in_dtype.np_dtype:
+            raise KernelError(
+                f"plan is for {self.in_dtype.name} inputs, got {x.dtype}"
+            )
+
+    def execute(self, x: np.ndarray, *, sync_gm: bool = False) -> ScanResult:
+        """Run the plan on new input values (the cache-hit path).
+
+        ``x`` must pad to this plan's padded shape.  With ``sync_gm`` the
+        device GM mirrors are also updated (slower; useful when chaining
+        device-level inspection onto a plan execution).
+        """
+        x = np.asarray(x)
+        if self.is_batched:
+            return self._execute_batched(x, sync_gm=sync_gm)
+        if x.ndim != 1:
+            raise ShapeError(f"1-D plan expects a 1-D array, got shape {x.shape}")
+        self._check_dtype(x)
+        n = x.size
+        if n <= 0 or n > self.padded or padded_length(n, self.pad_unit) != self.padded:
+            raise ShapeError(
+                f"plan is for padded length {self.padded} "
+                f"(unit {self.pad_unit}); input of {n} does not pad to it"
+            )
+        if n == self.padded:
+            xp = x
+        else:
+            xp = np.zeros(self.padded, dtype=self.in_dtype.np_dtype)
+            xp[:n] = x
+        values = plan_compute(
+            xp, self.algorithm, self.in_dtype, exclusive=self.exclusive
+        )
+        if sync_gm:
+            self.x_gm.write(xp)
+            self.y_gm.write(values)
+        trace = self.ctx.device.replay(self.traced)
+        self.executions += 1
+        io = n * self._io_bytes_per_element()
+        return ScanResult(values[:n], trace, n, io)
+
+    def _execute_batched(self, x: np.ndarray, *, sync_gm: bool) -> ScanResult:
+        if x.ndim != 2:
+            raise ShapeError(f"batched plan expects a 2-D array, got {x.shape}")
+        self._check_dtype(x)
+        rows, row_len = x.shape
+        if rows <= 0 or rows > self.batch:
+            raise ShapeError(
+                f"plan holds {self.batch} rows, got a batch of {rows}"
+            )
+        # trailing zeros never leak into a row's first row_len prefix sums,
+        # so any row length up to the plan's capacity is servable
+        if row_len <= 0 or row_len > self.padded:
+            raise ShapeError(
+                f"plan holds rows of up to {self.padded} elements, "
+                f"got rows of {row_len}"
+            )
+        if rows == self.batch and row_len == self.padded:
+            xp = x
+        else:
+            xp = np.zeros((self.batch, self.padded), dtype=self.in_dtype.np_dtype)
+            xp[:rows, :row_len] = x
+        values = plan_compute_batched(xp, self.algorithm, self.in_dtype)
+        if sync_gm:
+            self.x_gm.write(xp)
+            self.y_gm.write(values)
+        trace = self.ctx.device.replay(self.traced)
+        self.executions += 1
+        n = rows * row_len
+        io = n * self._io_bytes_per_element()
+        return ScanResult(values[:rows, :row_len], trace, n, io)
+
+    def _io_bytes_per_element(self) -> int:
+        return self.in_dtype.itemsize + self.out_dtype.itemsize
 
 
 class ScanContext:
@@ -130,6 +283,47 @@ class ScanContext:
             f"got {kind}"
         )
 
+    def _as_plan_dtype(self, dtype) -> DType:
+        """Accept a device dtype, its name, or a NumPy dtype for plans."""
+        if isinstance(dtype, DType):
+            dt = dtype
+        elif isinstance(dtype, str) and dtype in ("fp16", "int8"):
+            dt = as_dtype(dtype)
+        else:
+            return self._input_dtype(np.empty(0, dtype=dtype))
+        if dt.name not in ("fp16", "int8"):
+            raise KernelError(
+                f"scan plans accept fp16 or int8 inputs, got {dt.name}"
+            )
+        return dt
+
+    def _mcscan_block_dim(self, n_tiles: int, block_dim: "int | None") -> int:
+        if block_dim is None:
+            return max(1, min(self.config.num_ai_cores, n_tiles))
+        return block_dim
+
+    def _cube_1d_kernel(
+        self,
+        algorithm: str,
+        x_gm: GlobalTensor,
+        y_gm: GlobalTensor,
+        consts: ScanConstants,
+        s: int,
+        block_dim: "int | None",
+        exclusive: bool,
+    ):
+        """Build a 1-D cube-scan kernel (allocates the ``r`` array for the
+        multi-core variants from the device's current allocation scope)."""
+        if algorithm == "scanu":
+            return ScanUKernel(x_gm, y_gm, consts, s)
+        if algorithm == "scanul1":
+            return ScanUL1Kernel(x_gm, y_gm, consts, s)
+        n_tiles = x_gm.num_elements // (s * s)
+        bd = self._mcscan_block_dim(n_tiles, block_dim)
+        halves = bd * self.config.vector_cores_per_ai_core
+        r_gm = self.device.alloc("scan_r", (halves,), y_gm.dtype)
+        return MCScanKernel(x_gm, y_gm, r_gm, consts, s, bd, exclusive=exclusive)
+
     # -- 1-D scans -----------------------------------------------------------------
 
     def scan(
@@ -184,19 +378,9 @@ class ScanContext:
             y_gm = self.device.alloc("scan_y", (padded,), out_dt)
             if self.warm_inputs:
                 self.device.warm_l2(x_gm, y_gm)
-            if algorithm == "scanu":
-                kernel = ScanUKernel(x_gm, y_gm, consts, s)
-            elif algorithm == "scanul1":
-                kernel = ScanUL1Kernel(x_gm, y_gm, consts, s)
-            else:  # mcscan
-                n_tiles = padded // ell
-                if block_dim is None:
-                    block_dim = max(1, min(self.config.num_ai_cores, n_tiles))
-                halves = block_dim * self.config.vector_cores_per_ai_core
-                r_gm = self.device.alloc("scan_r", (halves,), out_dt)
-                kernel = MCScanKernel(
-                    x_gm, y_gm, r_gm, consts, s, block_dim, exclusive=exclusive
-                )
+            kernel = self._cube_1d_kernel(
+                algorithm, x_gm, y_gm, consts, s, block_dim, exclusive
+            )
             trace = self.device.launch(kernel, label=f"{algorithm}(s={s})")
             values = y_gm.to_numpy()[:n]
         finally:
@@ -314,17 +498,11 @@ class ScanContext:
             y_gm = self.device.alloc("bscan_y", (batch, padded), out_dt)
             if self.warm_inputs:
                 self.device.warm_l2(x_gm, y_gm)
-            if algorithm == "scanu":
-                lanes = self.config.vector_cores_per_ai_core
-                if block_dim is None:
-                    block_dim = max(
-                        1, min(self.config.num_ai_cores, -(-batch // lanes))
-                    )
-                kernel = BatchedScanUKernel(x_gm, y_gm, consts, s, block_dim)
-            else:
-                if block_dim is None:
-                    block_dim = max(1, min(self.config.num_ai_cores, batch))
-                kernel = BatchedScanUL1Kernel(x_gm, y_gm, consts, s, block_dim)
+            if block_dim is None:
+                block_dim = default_batched_block_dim(self.config, algorithm, batch)
+            kernel = batched_kernel_cls(algorithm)(
+                x_gm, y_gm, consts, s, block_dim
+            )
             trace = self.device.launch(
                 kernel, label=f"batched {algorithm}(s={s}, rows={rows})"
             )
@@ -333,6 +511,204 @@ class ScanContext:
             self.device.memory.release(mark)
         io = batch * row_len * (dt.itemsize + out_dt.itemsize)
         return ScanResult(values, trace, batch * row_len, io)
+
+    # -- plan building (serve-layer substrate) ------------------------------------------
+
+    def _finish_plan(
+        self,
+        plan: ScanPlan,
+        sample: np.ndarray,
+        expected: "np.ndarray | None",
+        t0: float,
+    ) -> ScanPlan:
+        """Validate the freshly traced plan and stamp its build stats."""
+        if expected is not None:
+            got = plan.y_gm.to_numpy()
+            err = float(
+                np.max(
+                    np.abs(
+                        got.astype(np.float64) - expected.astype(np.float64)
+                    )
+                )
+            ) if got.size else 0.0
+            plan.validated = bool(np.array_equal(got, expected.astype(got.dtype)))
+            plan.build_max_err = err
+            if not plan.validated:
+                raise KernelError(
+                    f"plan validation failed for {plan.algorithm} "
+                    f"({plan.in_dtype.name}, padded={plan.padded}): traced "
+                    f"kernel and functional path diverge by {err:g} on the "
+                    f"exact validation input"
+                )
+        plan.build_host_s = time.perf_counter() - t0
+        return plan
+
+    def build_plan(
+        self,
+        *,
+        algorithm: str = "scanul1",
+        n: int,
+        dtype="fp16",
+        s: int = 128,
+        block_dim: "int | None" = None,
+        exclusive: bool = False,
+        validate: bool = True,
+    ) -> ScanPlan:
+        """Trace a reusable 1-D scan plan for inputs padding to
+        ``padded_length(n, unit)`` elements of ``dtype``.
+
+        The build uploads a deterministic exact validation input, traces the
+        kernel once (full Python-level emission), and cross-checks the
+        kernel's functional output against the canonical computation the
+        plan will use on execution (see :mod:`repro.core.replay`).
+        """
+        t0 = time.perf_counter()
+        if algorithm not in SCAN_ALGORITHMS:
+            raise KernelError(
+                f"unknown algorithm {algorithm!r}; pick one of {SCAN_ALGORITHMS}"
+            )
+        if exclusive and algorithm != "mcscan":
+            raise KernelError(
+                "exclusive scan is implemented on MCScan (as in the paper)"
+            )
+        dt = self._as_plan_dtype(dtype)
+
+        if algorithm == "vector":
+            out_dt = dt
+            pad_unit = CUMSUM_COLS
+            padded = padded_length(n, pad_unit)
+            x_gm = self.device.alloc("plan_x", (padded,), dt)
+            y_gm = self.device.alloc("plan_y", (padded,), out_dt)
+            kernel = CumSumKernel(x_gm, y_gm)
+            resolved_bd = None
+        else:
+            out_dt = cube_accum_dtype(dt)
+            consts = self.constants(s, dt)
+            pad_unit = s * s
+            padded = padded_length(n, pad_unit)
+            x_gm = self.device.alloc("plan_x", (padded,), dt)
+            y_gm = self.device.alloc("plan_y", (padded,), out_dt)
+            kernel = self._cube_1d_kernel(
+                algorithm, x_gm, y_gm, consts, s, block_dim, exclusive
+            )
+            resolved_bd = getattr(kernel, "block_dim", None)
+
+        sample = validation_input(padded, dt, seed=padded)
+        x_gm.write(sample)
+        if self.warm_inputs:
+            self.device.warm_l2(x_gm, y_gm)
+        traced = self.device.trace_kernel(
+            kernel, label=f"plan {algorithm}(s={s}, n={padded})"
+        )
+        tol = validation_tolerance(algorithm, dt) if validate else None
+        expected = (
+            plan_compute(sample, algorithm, dt, exclusive=exclusive)
+            if tol is not None
+            else None
+        )
+        plan = ScanPlan(
+            ctx=self,
+            algorithm=algorithm,
+            s=s,
+            in_dtype=dt,
+            out_dtype=out_dt,
+            padded=padded,
+            pad_unit=pad_unit,
+            batch=None,
+            block_dim=resolved_bd,
+            exclusive=exclusive,
+            x_gm=x_gm,
+            y_gm=y_gm,
+            traced=traced,
+            build_host_s=0.0,
+            validated=None,
+            build_max_err=0.0,
+        )
+        return self._finish_plan(plan, sample, expected, t0)
+
+    def build_batched_plan(
+        self,
+        *,
+        algorithm: str = "scanu",
+        batch: int,
+        row_len: int,
+        dtype="fp16",
+        s: int = 128,
+        block_dim: "int | None" = None,
+        validate: bool = True,
+    ) -> ScanPlan:
+        """Trace a reusable batched (row-wise) scan plan holding ``batch``
+        rows that pad to ``padded_length(row_len, tile)`` elements each.
+
+        Executions may submit fewer rows (or shorter rows); the remainder
+        is zero-padded, exactly as the request batcher in
+        :mod:`repro.serve` does when it rounds batches up to bucket sizes.
+        """
+        t0 = time.perf_counter()
+        if algorithm not in BATCHED_ALGORITHMS:
+            raise KernelError(
+                f"unknown batched algorithm {algorithm!r}; "
+                f"pick one of {BATCHED_ALGORITHMS}"
+            )
+        if batch < 1:
+            raise ShapeError(f"batch must be >= 1, got {batch}")
+        dt = self._as_plan_dtype(dtype)
+
+        if algorithm == "vector":
+            out_dt = dt
+            pad_unit = CUMSUM_COLS
+            padded = padded_length(row_len, pad_unit)
+            x_gm = self.device.alloc("plan_bx", (batch, padded), dt)
+            y_gm = self.device.alloc("plan_by", (batch, padded), out_dt)
+            bd = min(self.config.num_vector_cores, batch)
+            kernel = BatchedCumSumKernel(x_gm, y_gm, bd)
+        else:
+            out_dt = cube_accum_dtype(dt)
+            rows = batched_tile_rows(row_len, s)
+            consts = self.constants(s, dt, rows=rows)
+            pad_unit = consts.tile_elements
+            padded = padded_length(row_len, pad_unit)
+            x_gm = self.device.alloc("plan_bx", (batch, padded), dt)
+            y_gm = self.device.alloc("plan_by", (batch, padded), out_dt)
+            bd = (
+                default_batched_block_dim(self.config, algorithm, batch)
+                if block_dim is None
+                else block_dim
+            )
+            kernel = batched_kernel_cls(algorithm)(x_gm, y_gm, consts, s, bd)
+
+        sample = validation_input(batch * padded, dt, seed=batch * padded).reshape(
+            batch, padded
+        )
+        x_gm.write(sample)
+        if self.warm_inputs:
+            self.device.warm_l2(x_gm, y_gm)
+        traced = self.device.trace_kernel(
+            kernel, label=f"plan batched {algorithm}(s={s}, {batch}x{padded})"
+        )
+        tol = validation_tolerance(algorithm, dt) if validate else None
+        expected = (
+            plan_compute_batched(sample, algorithm, dt) if tol is not None else None
+        )
+        plan = ScanPlan(
+            ctx=self,
+            algorithm=algorithm,
+            s=s,
+            in_dtype=dt,
+            out_dtype=out_dt,
+            padded=padded,
+            pad_unit=pad_unit,
+            batch=batch,
+            block_dim=bd,
+            exclusive=False,
+            x_gm=x_gm,
+            y_gm=y_gm,
+            traced=traced,
+            build_host_s=0.0,
+            validated=None,
+            build_max_err=0.0,
+        )
+        return self._finish_plan(plan, sample, expected, t0)
 
     # -- copy (torch.clone stand-in, Figure 8) --------------------------------------------
 

@@ -22,13 +22,19 @@ batches of short arrays, ScanUL1 for small batches of long arrays.
 from __future__ import annotations
 
 from ..errors import KernelError, ShapeError
+from ..hw.config import DeviceConfig
 from ..hw.datatypes import cube_accum_dtype
 from ..hw.memory import GlobalTensor
 from ..lang.kernel import Kernel
 from .matrices import ScanConstants
 from .pipelines import UCubePipeline, UL1CubePipeline, VecPropagator
 
-__all__ = ["BatchedScanUKernel", "BatchedScanUL1Kernel"]
+__all__ = [
+    "BatchedScanUKernel",
+    "BatchedScanUL1Kernel",
+    "batched_kernel_cls",
+    "default_batched_block_dim",
+]
 
 
 def _validate_batched(x, y, consts: ScanConstants, s: int, name: str) -> int:
@@ -56,6 +62,31 @@ def _validate_batched(x, y, consts: ScanConstants, s: int, name: str) -> int:
             f"{consts.rows}x{s} tile ({tile} elements); pad with zeros"
         )
     return x.shape[1] // tile
+
+
+def batched_kernel_cls(algorithm: str) -> "type[Kernel]":
+    """The batched cube-kernel class for ``algorithm`` (scanu / scanul1)."""
+    try:
+        return {
+            "scanu": BatchedScanUKernel,
+            "scanul1": BatchedScanUL1Kernel,
+        }[algorithm]
+    except KeyError:
+        raise KernelError(
+            f"no batched cube kernel for algorithm {algorithm!r}"
+        ) from None
+
+
+def default_batched_block_dim(
+    config: DeviceConfig, algorithm: str, batch: int
+) -> int:
+    """Block count matching each batched schedule: ScanU packs one *pair*
+    of arrays per AI core (its cube stage interleaves two rows for the two
+    vector cores), ScanUL1 one array per AI core."""
+    if algorithm == "scanu":
+        lanes = config.vector_cores_per_ai_core
+        return max(1, min(config.num_ai_cores, -(-batch // lanes)))
+    return max(1, min(config.num_ai_cores, batch))
 
 
 class BatchedScanUKernel(Kernel):

@@ -49,7 +49,7 @@ def inclusive_scan(x: np.ndarray, out_dtype=None) -> np.ndarray:
     """Inclusive prefix sum with device accumulation semantics."""
     x = np.asarray(x)
     acc = accum_np_dtype(x.dtype)
-    result = np.cumsum(x.astype(acc), dtype=acc)
+    result = np.cumsum(x, dtype=acc)
     return result.astype(out_dtype) if out_dtype is not None else result
 
 
@@ -58,7 +58,7 @@ def exclusive_scan(x: np.ndarray, out_dtype=None) -> np.ndarray:
     (the paper implements this by shifting the inclusive scan's output)."""
     x = np.asarray(x)
     acc = accum_np_dtype(x.dtype)
-    inc = np.cumsum(x.astype(acc), dtype=acc)
+    inc = np.cumsum(x, dtype=acc)
     out = np.empty_like(inc)
     out[0] = 0
     out[1:] = inc[:-1]
@@ -71,7 +71,7 @@ def batched_inclusive_scan(x: np.ndarray, out_dtype=None) -> np.ndarray:
     if x.ndim != 2:
         raise DTypeError(f"batched scan expects a 2-D array, got ndim={x.ndim}")
     acc = accum_np_dtype(x.dtype)
-    result = np.cumsum(x.astype(acc), axis=1, dtype=acc)
+    result = np.cumsum(x, axis=1, dtype=acc)
     return result.astype(out_dtype) if out_dtype is not None else result
 
 

@@ -32,7 +32,7 @@ from .memory import GlobalMemory, GlobalSlice, GlobalTensor
 from .scheduler import Program, simulate
 from .trace import EngineInfo, Trace
 
-__all__ = ["AscendDevice", "Emitter", "CoreHandle"]
+__all__ = ["AscendDevice", "Emitter", "CoreHandle", "TracedKernel", "HazardAccess"]
 
 #: granularity of global-memory hazard tracking (bytes)
 GM_HAZARD_BUCKET = 32 * 1024
@@ -44,6 +44,24 @@ class CoreHandle:
 
     kind: str  # "aic" or "aiv"
     index: int
+
+
+@dataclass(frozen=True)
+class HazardAccess:
+    """One audited data access of an op (see ``AscendDevice(audit_hazards=)``).
+
+    ``space`` is ``"gm"`` (key = tensor id, byte interval ``[start, end)``)
+    or ``"local"`` (key = the hazard record's allocation serial; local
+    hazards are tracked at whole-slot granularity, so the interval is the
+    conventional ``[0, 1)``).
+    """
+
+    op_id: int
+    space: str
+    key: int
+    start: int
+    end: int
+    is_write: bool
 
 
 class _GmAccess:
@@ -70,6 +88,10 @@ class Emitter:
         self._sync_engine = len(device.engines)
         self._gm_hazards: dict[tuple[int, int], list[_GmAccess]] = {}
         self._next_id = 0
+        #: per-op access log for sync-coverage verification (opt-in)
+        self.audit: "list[HazardAccess] | None" = (
+            [] if device.audit_hazards else None
+        )
 
     # -- low-level op emission ---------------------------------------------------
 
@@ -150,7 +172,28 @@ class Emitter:
             self._gm_note(gm_read, op_id, is_write=False)
         if gm_write is not None:
             self._gm_note(gm_write, op_id, is_write=True)
+        if self.audit is not None:
+            self._audit_op(op_id, reads, writes, gm_read, gm_write)
         return op_id
+
+    def _audit_op(self, op_id, reads, writes, gm_read, gm_write) -> None:
+        """Record this op's data accesses for independent sync verification."""
+        log = self.audit
+        for objs, is_write in ((reads, False), (writes, True)):
+            for obj in objs:
+                h = getattr(obj, "hazard", obj)
+                log.append(
+                    HazardAccess(op_id, "local", h.serial, 0, 1, is_write)
+                )
+        for s, is_write in ((gm_read, False), (gm_write, True)):
+            if s is not None:
+                start = s.offset * s.dtype.itemsize
+                log.append(
+                    HazardAccess(
+                        op_id, "gm", s.tensor.tensor_id,
+                        start, start + max(s.nbytes, 1), is_write,
+                    )
+                )
 
     # -- global-memory hazards ------------------------------------------------------
 
@@ -216,11 +259,30 @@ class Emitter:
         return op_id
 
 
+@dataclass
+class TracedKernel:
+    """The reusable product of one kernel emission: the op DAG plus launch
+    metadata.  Replaying it (:meth:`AscendDevice.replay`) re-runs only the
+    scheduler — the Python-level kernel code does not execute again, which
+    is what the serve layer's plan cache banks on."""
+
+    program: Program
+    label: str
+    audit: "list[HazardAccess] | None" = None
+
+    @property
+    def ops(self) -> list[Op]:
+        return self.program.ops
+
+
 class AscendDevice:
     """A simulated Ascend accelerator."""
 
-    def __init__(self, config: DeviceConfig = ASCEND_910B4):
+    def __init__(self, config: DeviceConfig = ASCEND_910B4, *, audit_hazards: bool = False):
         self.config = config
+        #: when True, every emitted op logs its data accesses (HazardAccess)
+        #: so tests can independently verify synchronization coverage
+        self.audit_hazards = audit_hazards
         self.memory = GlobalMemory(config)
         self.l2 = L2Cache(config)
         self.costs = CostModel(config)
@@ -261,11 +323,14 @@ class AscendDevice:
 
     # -- kernel launch ---------------------------------------------------------------------
 
-    def launch(self, kernel, *, label: "str | None" = None) -> Trace:
-        """Run a kernel to completion; returns its :class:`Trace`.
+    def trace_kernel(self, kernel, *, label: "str | None" = None) -> TracedKernel:
+        """Run a kernel's Python body once, emitting its op DAG (and its
+        functional NumPy effects on GM state) without scheduling it.
 
         The kernel object must provide ``block_dim``, ``mode`` ("mix" or
         "vec") and ``phases()`` -> list of callables taking a KernelContext.
+        The returned :class:`TracedKernel` can be scheduled any number of
+        times with :meth:`replay`.
         """
         from ..lang.context import KernelContext  # local import to avoid cycle
 
@@ -300,13 +365,27 @@ class AscendDevice:
             if phase_idx != len(phases) - 1:
                 emitter.sync_all()
 
-        timeline = simulate(emitter.program, self.config)
+        return TracedKernel(
+            program=emitter.program,
+            label=label or type(kernel).__name__,
+            audit=emitter.audit,
+        )
+
+    def replay(self, traced: TracedKernel, *, label: "str | None" = None) -> Trace:
+        """Schedule a previously traced op DAG: re-runs only the discrete-
+        event scheduler and wraps the timeline in a fresh :class:`Trace`."""
+        timeline = simulate(traced.program, self.config)
         engines = self.engines + [EngineInfo(len(self.engines), "dev", 0, "sync")]
         return Trace(
-            ops=emitter.program.ops,
+            ops=traced.program.ops,
             timeline=timeline,
             engines=engines,
             config=self.config,
-            label=label or type(kernel).__name__,
+            label=label or traced.label,
             launch_ns=self.config.costs.kernel_launch_ns,
+            audit=traced.audit,
         )
+
+    def launch(self, kernel, *, label: "str | None" = None) -> Trace:
+        """Trace a kernel and schedule it; returns its :class:`Trace`."""
+        return self.replay(self.trace_kernel(kernel, label=label))

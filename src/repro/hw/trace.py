@@ -56,6 +56,9 @@ class Trace:
     label: str = "kernel"
     #: host-side launch overhead included in total_ns but not in any op span
     launch_ns: float = 0.0
+    #: per-op data-access log when the device ran with ``audit_hazards=True``
+    #: (list of :class:`repro.hw.device.HazardAccess`); None otherwise
+    audit: "list | None" = None
     _engine_stats: "list[EngineStats] | None" = field(default=None, repr=False)
 
     # -- headline numbers ------------------------------------------------------

@@ -40,11 +40,18 @@ class BufferKind:
 class Hazard:
     """Last-writer / readers-since bookkeeping for one storage location."""
 
-    __slots__ = ("last_writer", "readers")
+    __slots__ = ("last_writer", "readers", "serial")
+
+    #: class-wide allocation counter; gives every hazard a stable identity
+    #: (``id()`` values are recycled by the allocator, which would alias
+    #: distinct locations in the sync-coverage audit log)
+    _next_serial = 0
 
     def __init__(self) -> None:
         self.last_writer: int = -1
         self.readers: list[int] = []
+        self.serial = Hazard._next_serial
+        Hazard._next_serial += 1
 
     def deps_for_read(self) -> tuple[int, ...]:
         return (self.last_writer,) if self.last_writer >= 0 else ()

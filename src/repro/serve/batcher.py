@@ -1,0 +1,154 @@
+"""Request batcher: coalesce same-shape 1-D scans into batched launches.
+
+Queued requests are partitioned by *launch group*: requests whose
+(algorithm, padded row length, dtype, s) match can ride the row-wise
+batched kernels (:class:`~repro.core.batched.BatchedScanUKernel` /
+``BatchedScanUL1Kernel`` / the batched vector baseline) as rows of one
+2-D launch, each scattered back to its own ticket afterwards.
+
+Batch sizes are rounded up to power-of-two *buckets* (rows beyond the
+real batch are zero-padded), so the plan cache needs only ``log2``
+distinct batched plans per shape class instead of one per observed batch
+size.  Groups smaller than ``min_group`` — and requests the batched
+kernels cannot serve (``mcscan``, exclusive scans) — fall back to 1-D
+plans, one launch per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.api import BATCHED_ALGORITHMS
+from .plan import PlanCache, PlanKey
+
+__all__ = ["ScanRequest", "LaunchGroup", "RequestBatcher", "bucket_size"]
+
+
+def bucket_size(batch: int, *, max_batch: int = 64) -> int:
+    """Smallest power of two >= batch, capped at ``max_batch``."""
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    return min(1 << (batch - 1).bit_length(), max_batch)
+
+
+@dataclass
+class ScanRequest:
+    """One queued 1-D scan request (internal to the service)."""
+
+    req_id: int
+    x: np.ndarray
+    algorithm: str
+    s: int
+    exclusive: bool
+    #: host clock (perf_counter) at submit, for per-request latency
+    t_submit: float
+
+    @property
+    def n(self) -> int:
+        return self.x.size
+
+
+@dataclass
+class LaunchGroup:
+    """A set of requests served by one device launch (or, for the 1-D
+    fallback, one launch each)."""
+
+    #: plan-cache shape class the group maps to (1-D key for fallbacks)
+    key: PlanKey
+    requests: "list[ScanRequest]" = field(default_factory=list)
+    #: True when served as rows of one batched kernel launch
+    batched: bool = False
+    #: bucket row capacity of the batched launch (0 for fallbacks)
+    bucket: int = 0
+
+
+class RequestBatcher:
+    """Accumulates requests and partitions them into launch groups."""
+
+    def __init__(
+        self, cache: PlanCache, *, max_batch: int = 64, min_group: int = 2
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.cache = cache
+        self.max_batch = max_batch
+        self.min_group = min_group
+        self._pending: list[ScanRequest] = []
+        #: requests that rode a batched launch / total drained, for stats
+        self.coalesced = 0
+        self.drained = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, request: ScanRequest) -> None:
+        self._pending.append(request)
+
+    def _batchable(self, request: ScanRequest) -> bool:
+        return (
+            request.algorithm in BATCHED_ALGORITHMS and not request.exclusive
+        )
+
+    def drain(self) -> "list[LaunchGroup]":
+        """Partition and clear the pending queue.
+
+        Returns groups in deterministic order (by first-submitted request),
+        splitting oversized groups at ``max_batch`` rows.
+        """
+        pending, self._pending = self._pending, []
+        self.drained += len(pending)
+        by_shape: dict[PlanKey, LaunchGroup] = {}
+        order: list[LaunchGroup] = []
+        for req in pending:
+            if self._batchable(req):
+                key = self.cache.key_batched(
+                    req.algorithm, 1, req.n, req.x.dtype, s=req.s
+                )
+            else:
+                key = self.cache.key_1d(
+                    req.algorithm, req.n, req.x.dtype, s=req.s,
+                    exclusive=req.exclusive,
+                )
+            group = by_shape.get(key)
+            if group is None:
+                group = by_shape[key] = LaunchGroup(key=key)
+                order.append(group)
+            group.requests.append(req)
+
+        out: list[LaunchGroup] = []
+        for group in order:
+            if (
+                group.key.batch is None
+                or len(group.requests) < self.min_group
+            ):
+                # non-batchable shape class, or not worth a batched launch
+                if group.key.batch is not None:
+                    group.key = self.cache.key_1d(
+                        group.requests[0].algorithm,
+                        group.requests[0].n,
+                        group.requests[0].x.dtype,
+                        s=group.key.s,
+                    )
+                out.append(group)
+                continue
+            for lo in range(0, len(group.requests), self.max_batch):
+                chunk = group.requests[lo : lo + self.max_batch]
+                bucket = bucket_size(len(chunk), max_batch=self.max_batch)
+                out.append(
+                    LaunchGroup(
+                        key=PlanKey(
+                            group.key.algorithm,
+                            group.key.padded,
+                            group.key.dtype,
+                            bucket,
+                            group.key.s,
+                        ),
+                        requests=chunk,
+                        batched=True,
+                        bucket=bucket,
+                    )
+                )
+                self.coalesced += len(chunk)
+        return out

@@ -1,0 +1,169 @@
+"""Plan cache: memoized traced scan operators keyed by shape class.
+
+A key identifies everything that determines the traced op DAG — the
+algorithm, the *padded* problem size (so every request length that rounds
+up to the same tile multiple shares one plan), the input dtype, the batch
+capacity (``None`` for 1-D plans) and the tile width ``s``.  Values are
+:class:`~repro.core.api.ScanPlan` objects, built on first miss via
+``ScanContext.build_plan`` / ``build_batched_plan``.
+
+Plans pin their GM tensors for the lifetime of the context (the simulated
+HBM is a bump allocator with stack discipline — nothing inside a plan can
+be freed individually), so the cache never evicts; ``gm_bytes`` reports
+the footprint so callers can budget their working set of shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import BATCHED_ALGORITHMS, SCAN_ALGORITHMS, ScanContext, ScanPlan
+from ..core.matrices import batched_tile_rows, padded_length
+from ..core.vector_baseline import CUMSUM_COLS
+from ..errors import KernelError
+
+__all__ = ["PlanKey", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of one traced plan (a shape class, not a single shape)."""
+
+    algorithm: str
+    #: padded 1-D length, or padded row length for batched plans
+    padded: int
+    dtype: str
+    #: batch row capacity; None marks a 1-D plan
+    batch: "int | None"
+    s: int
+    exclusive: bool = False
+
+
+def _pad_unit(algorithm: str, row_len: int, s: int, *, batched: bool) -> int:
+    if algorithm == "vector":
+        return CUMSUM_COLS
+    if batched:
+        return batched_tile_rows(row_len, s) * s
+    return s * s
+
+
+class PlanCache:
+    """Build-once / execute-many store of :class:`ScanPlan` objects."""
+
+    def __init__(self, ctx: ScanContext, *, validate: bool = True):
+        self.ctx = ctx
+        self.validate = validate
+        self._plans: dict[PlanKey, ScanPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        #: cumulative host seconds spent building plans (the cold cost)
+        self.build_host_s = 0.0
+
+    # -- key construction ---------------------------------------------------
+
+    def key_1d(
+        self,
+        algorithm: str,
+        n: int,
+        dtype,
+        *,
+        s: int = 128,
+        exclusive: bool = False,
+    ) -> PlanKey:
+        if algorithm not in SCAN_ALGORITHMS:
+            raise KernelError(
+                f"unknown algorithm {algorithm!r}; pick one of {SCAN_ALGORITHMS}"
+            )
+        dt = self.ctx._as_plan_dtype(dtype)
+        unit = _pad_unit(algorithm, n, s, batched=False)
+        return PlanKey(
+            algorithm, padded_length(n, unit), dt.name, None, s, exclusive
+        )
+
+    def key_batched(
+        self, algorithm: str, batch: int, row_len: int, dtype, *, s: int = 128
+    ) -> PlanKey:
+        if algorithm not in BATCHED_ALGORITHMS:
+            raise KernelError(
+                f"unknown batched algorithm {algorithm!r}; "
+                f"pick one of {BATCHED_ALGORITHMS}"
+            )
+        dt = self.ctx._as_plan_dtype(dtype)
+        unit = _pad_unit(algorithm, row_len, s, batched=True)
+        return PlanKey(algorithm, padded_length(row_len, unit), dt.name, batch, s)
+
+    # -- lookup / build -----------------------------------------------------
+
+    def get_1d(
+        self,
+        algorithm: str,
+        n: int,
+        dtype,
+        *,
+        s: int = 128,
+        exclusive: bool = False,
+    ) -> ScanPlan:
+        key = self.key_1d(algorithm, n, dtype, s=s, exclusive=exclusive)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = self.ctx.build_plan(
+            algorithm=algorithm,
+            n=key.padded,
+            dtype=key.dtype,
+            s=s,
+            exclusive=exclusive,
+            validate=self.validate,
+        )
+        self.build_host_s += plan.build_host_s
+        self._plans[key] = plan
+        return plan
+
+    def get_batched(
+        self, algorithm: str, batch: int, row_len: int, dtype, *, s: int = 128
+    ) -> ScanPlan:
+        key = self.key_batched(algorithm, batch, row_len, dtype, s=s)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = self.ctx.build_batched_plan(
+            algorithm=algorithm,
+            batch=batch,
+            row_len=key.padded,
+            dtype=key.dtype,
+            s=s,
+            validate=self.validate,
+        )
+        self.build_host_s += plan.build_host_s
+        self._plans[key] = plan
+        return plan
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    @property
+    def gm_bytes(self) -> int:
+        """Device-memory footprint pinned by the cached plans."""
+        total = 0
+        for plan in self._plans.values():
+            total += plan.x_gm.num_elements * plan.x_gm.dtype.itemsize
+            total += plan.y_gm.num_elements * plan.y_gm.dtype.itemsize
+        return total
+
+    def stats(self) -> dict:
+        return {
+            "plans": len(self._plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "build_host_s": self.build_host_s,
+            "gm_bytes": self.gm_bytes,
+        }

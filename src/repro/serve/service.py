@@ -1,0 +1,242 @@
+"""The ``submit``/``flush`` scan service façade.
+
+:meth:`ScanService.submit` validates and enqueues a 1-D scan request,
+returning a :class:`ScanTicket` immediately; :meth:`ScanService.flush`
+drains the queue through the :class:`~repro.serve.batcher.RequestBatcher`,
+executes each launch group via plan-cache hits (building plans on first
+miss), scatters results back onto the tickets, and records per-request
+host latency plus per-launch simulated throughput.
+
+This mirrors how an inference-serving integration drives the paper's
+operators: shapes recur, so tracing cost is paid once per shape class and
+the steady state is functional compute + scheduling only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.api import ScanContext, ScanPlan
+from ..errors import ShapeError
+from ..hw.config import ASCEND_910B4, DeviceConfig
+from .batcher import LaunchGroup, RequestBatcher, ScanRequest
+from .plan import PlanCache
+from .stats import LaunchRecord, ServiceStats
+
+__all__ = ["ScanTicket", "ScanService"]
+
+
+@dataclass
+class ScanTicket:
+    """Handle for one submitted request; filled in by ``flush``."""
+
+    req_id: int
+    n: int
+    algorithm: str
+    dtype: str
+    s: int
+    exclusive: bool
+    done: bool = False
+    values: "np.ndarray | None" = None
+    #: wall seconds from submit to completion (queueing + execution)
+    host_s: float = 0.0
+    #: simulated device time of the launch that served this request; shared
+    #: across the whole batch for batched launches (see ``batch_size``)
+    device_ns: float = 0.0
+    #: True when the serving launch reused a cached plan
+    plan_hit: bool = False
+    #: True when served as a row of a coalesced batched launch
+    batched: bool = False
+    #: number of requests sharing the launch (1 for single launches)
+    batch_size: int = 1
+
+    def result(self) -> np.ndarray:
+        if not self.done:
+            raise RuntimeError(
+                f"request {self.req_id} is still queued; call flush() first"
+            )
+        return self.values
+
+
+class ScanService:
+    """Plan-cached, request-batching front end over a scan context."""
+
+    def __init__(
+        self,
+        ctx: "ScanContext | None" = None,
+        *,
+        config: DeviceConfig = ASCEND_910B4,
+        max_batch: int = 64,
+        min_group: int = 2,
+        batching: bool = True,
+        validate_plans: bool = True,
+    ):
+        self.ctx = ctx if ctx is not None else ScanContext(config)
+        self.cache = PlanCache(self.ctx, validate=validate_plans)
+        self.batcher = RequestBatcher(
+            self.cache,
+            max_batch=max_batch,
+            # min_group above any queue length disables coalescing entirely
+            min_group=min_group if batching else (1 << 62),
+        )
+        self.stats = ServiceStats()
+        self._tickets: dict[int, ScanTicket] = {}
+        self._next_id = 0
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        x: np.ndarray,
+        *,
+        algorithm: str = "scanu",
+        s: int = 128,
+        exclusive: bool = False,
+    ) -> ScanTicket:
+        """Enqueue one 1-D scan; returns an unfilled ticket."""
+        x = np.asarray(x)
+        if x.ndim != 1:
+            raise ShapeError(f"submit expects a 1-D array, got shape {x.shape}")
+        if x.size == 0:
+            raise ShapeError("submit expects a non-empty array")
+        dt = self.ctx._as_plan_dtype(x.dtype)
+        # key construction validates algorithm/exclusive combinations early
+        self.cache.key_1d(algorithm, x.size, dt, s=s, exclusive=exclusive)
+        req_id = self._next_id
+        self._next_id += 1
+        req = ScanRequest(
+            req_id=req_id,
+            x=x,
+            algorithm=algorithm,
+            s=s,
+            exclusive=exclusive,
+            t_submit=time.perf_counter(),
+        )
+        ticket = ScanTicket(
+            req_id=req_id,
+            n=x.size,
+            algorithm=algorithm,
+            dtype=dt.name,
+            s=s,
+            exclusive=exclusive,
+        )
+        self._tickets[req_id] = ticket
+        self.batcher.add(req)
+        return ticket
+
+    def scan(self, x: np.ndarray, **kwargs) -> ScanTicket:
+        """Convenience: submit one request and flush immediately."""
+        ticket = self.submit(x, **kwargs)
+        self.flush()
+        return ticket
+
+    @property
+    def pending(self) -> int:
+        return len(self.batcher)
+
+    # -- execution ----------------------------------------------------------
+
+    def flush(self) -> "list[ScanTicket]":
+        """Serve every queued request; returns their tickets in submit order."""
+        groups = self.batcher.drain()
+        completed: list[ScanTicket] = []
+        for group in groups:
+            if group.batched:
+                completed.extend(self._serve_batched(group))
+            else:
+                completed.extend(self._serve_singles(group))
+        completed.sort(key=lambda t: t.req_id)
+        return completed
+
+    def _get_plan(self, group: LaunchGroup) -> "tuple[ScanPlan, bool]":
+        key = group.key
+        hit = key in self.cache
+        plan = self.cache.get_batched(
+            key.algorithm, key.batch, key.padded, key.dtype, s=key.s
+        )
+        return plan, hit
+
+    def _finish(self, ticket: ScanTicket, req: ScanRequest) -> None:
+        ticket.done = True
+        ticket.host_s = time.perf_counter() - req.t_submit
+        self.stats.record_request(ticket.host_s)
+
+    def _serve_batched(self, group: LaunchGroup) -> "list[ScanTicket]":
+        plan, hit = self._get_plan(group)
+        xp = np.zeros(
+            (plan.batch, plan.padded), dtype=plan.in_dtype.np_dtype
+        )
+        for i, req in enumerate(group.requests):
+            xp[i, : req.n] = req.x
+        result = plan.execute(xp)
+        per_launch_n = sum(req.n for req in group.requests)
+        io = per_launch_n * plan._io_bytes_per_element()
+        self.stats.record_launch(
+            LaunchRecord(
+                kind="batched",
+                device_ns=result.trace.total_ns,
+                n_elements=per_launch_n,
+                io_bytes=io,
+                requests=len(group.requests),
+                plan_hit=hit,
+            )
+        )
+        tickets = []
+        for i, req in enumerate(group.requests):
+            ticket = self._tickets.pop(req.req_id)
+            ticket.values = result.values[i, : req.n]
+            ticket.device_ns = result.trace.total_ns
+            ticket.plan_hit = hit
+            ticket.batched = True
+            ticket.batch_size = len(group.requests)
+            self._finish(ticket, req)
+            tickets.append(ticket)
+        return tickets
+
+    def _serve_singles(self, group: LaunchGroup) -> "list[ScanTicket]":
+        tickets = []
+        for req in group.requests:
+            key = self.cache.key_1d(
+                req.algorithm, req.n, req.x.dtype, s=req.s,
+                exclusive=req.exclusive,
+            )
+            hit = key in self.cache
+            plan = self.cache.get_1d(
+                req.algorithm, req.n, req.x.dtype, s=req.s,
+                exclusive=req.exclusive,
+            )
+            result = plan.execute(req.x)
+            self.stats.record_launch(
+                LaunchRecord(
+                    kind="single",
+                    device_ns=result.trace.total_ns,
+                    n_elements=req.n,
+                    io_bytes=result.io_bytes,
+                    requests=1,
+                    plan_hit=hit,
+                )
+            )
+            ticket = self._tickets.pop(req.req_id)
+            ticket.values = result.values
+            ticket.device_ns = result.trace.total_ns
+            ticket.plan_hit = hit
+            self._finish(ticket, req)
+            tickets.append(ticket)
+        return tickets
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> str:
+        cache = self.cache.stats()
+        lines = [
+            "scan service",
+            f"plan cache      : {cache['plans']} plans, "
+            f"{cache['hits']} hits / {cache['misses']} misses, "
+            f"{cache['build_host_s'] * 1e3:.1f} ms build time, "
+            f"{cache['gm_bytes'] / 1e6:.1f} MB GM pinned",
+            self.stats.summary(),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Service statistics: per-request latency and per-launch throughput.
+
+Host latency (wall seconds from ``submit`` to completion) and simulated
+device time are tracked separately — the whole point of the serve layer
+is that the host side stops dominating, so the report shows both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LaunchRecord", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One device launch issued by the service."""
+
+    kind: str  # "batched" or "single"
+    device_ns: float
+    #: logical elements across all requests in the launch
+    n_elements: int
+    io_bytes: int
+    requests: int
+    plan_hit: bool
+
+
+def _percentile(sorted_vals: "list[float]", q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+@dataclass
+class ServiceStats:
+    """Aggregates over the lifetime of one :class:`ScanService`."""
+
+    host_latencies_s: "list[float]" = field(default_factory=list)
+    launches: "list[LaunchRecord]" = field(default_factory=list)
+
+    def record_request(self, host_s: float) -> None:
+        self.host_latencies_s.append(host_s)
+
+    def record_launch(self, record: LaunchRecord) -> None:
+        self.launches.append(record)
+
+    # -- request-side metrics ----------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return len(self.host_latencies_s)
+
+    @property
+    def mean_host_latency_s(self) -> float:
+        if not self.host_latencies_s:
+            return 0.0
+        return sum(self.host_latencies_s) / len(self.host_latencies_s)
+
+    def host_latency_percentile_s(self, q: float) -> float:
+        return _percentile(sorted(self.host_latencies_s), q)
+
+    # -- launch-side metrics -----------------------------------------------
+
+    @property
+    def launch_count(self) -> int:
+        return len(self.launches)
+
+    @property
+    def coalesced_requests(self) -> int:
+        return sum(r.requests for r in self.launches if r.kind == "batched")
+
+    @property
+    def n_elements(self) -> int:
+        return sum(r.n_elements for r in self.launches)
+
+    @property
+    def device_ns(self) -> float:
+        return sum(r.device_ns for r in self.launches)
+
+    @property
+    def gelems_per_s(self) -> float:
+        """Simulated device throughput (elements/ns == GElems/s)."""
+        ns = self.device_ns
+        return self.n_elements / ns if ns else 0.0
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        ns = self.device_ns
+        if not ns:
+            return 0.0
+        return sum(r.io_bytes for r in self.launches) / ns
+
+    @property
+    def plan_hit_rate(self) -> float:
+        if not self.launches:
+            return 0.0
+        return sum(1 for r in self.launches if r.plan_hit) / len(self.launches)
+
+    def summary(self) -> str:
+        lat = sorted(self.host_latencies_s)
+        lines = [
+            f"requests        : {self.requests} "
+            f"({self.coalesced_requests} coalesced into batched launches)",
+            f"launches        : {self.launch_count} "
+            f"(plan hit rate {self.plan_hit_rate:.0%})",
+            f"host latency    : mean {self.mean_host_latency_s * 1e3:.2f} ms, "
+            f"p50 {_percentile(lat, 0.50) * 1e3:.2f} ms, "
+            f"p99 {_percentile(lat, 0.99) * 1e3:.2f} ms",
+            f"device          : {self.device_ns / 1e3:.1f} us simulated, "
+            f"{self.gelems_per_s:.1f} GElems/s, "
+            f"{self.bandwidth_gbps:.1f} GB/s",
+        ]
+        return "\n".join(lines)

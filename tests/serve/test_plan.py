@@ -1,0 +1,121 @@
+"""Plan cache: keying, hit/miss accounting, build-time validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import ScanContext
+from repro.core.matrices import batched_tile_rows, padded_length
+from repro.errors import KernelError, ShapeError
+from repro.hw.config import toy_config
+from repro.serve import PlanCache, PlanKey
+
+
+@pytest.fixture()
+def cache() -> PlanCache:
+    return PlanCache(ScanContext(toy_config()))
+
+
+def test_key_normalizes_to_padded_length(cache):
+    # every n that pads to the same tile multiple shares one key
+    k1 = cache.key_1d("scanu", 1, "fp16", s=32)
+    k2 = cache.key_1d("scanu", 1024, "fp16", s=32)
+    k3 = cache.key_1d("scanu", 1025, "fp16", s=32)
+    assert k1 == k2 == PlanKey("scanu", 1024, "fp16", None, 32, False)
+    assert k3.padded == 2048
+
+
+def test_key_accepts_numpy_dtypes(cache):
+    assert cache.key_1d("scanu", 10, np.float16, s=32).dtype == "fp16"
+    assert cache.key_1d("scanu", 10, np.dtype(np.int8), s=32).dtype == "int8"
+    with pytest.raises(KernelError):
+        cache.key_1d("scanu", 10, np.float32, s=32)
+
+
+def test_key_rejects_unknown_algorithm(cache):
+    with pytest.raises(KernelError, match="unknown"):
+        cache.key_1d("bogus", 10, "fp16")
+    with pytest.raises(KernelError, match="batched"):
+        cache.key_batched("mcscan", 4, 10, "fp16")
+
+
+def test_batched_key_padded_is_stable(cache):
+    """The padded row length must be a fixed point: re-keying a padded
+    length yields the same key (the service builds plans from keys)."""
+    for row_len in [1, 50, 96, 129, 700, 1024, 5000]:
+        k = cache.key_batched("scanu", 4, row_len, "fp16", s=32)
+        again = cache.key_batched("scanu", 4, k.padded, "fp16", s=32)
+        assert again.padded == k.padded
+        rows = batched_tile_rows(k.padded, 32)
+        assert k.padded == padded_length(k.padded, rows * 32)
+
+
+def test_hit_miss_accounting_and_reuse(cache):
+    p1 = cache.get_1d("scanu", 100, "fp16", s=32)
+    p2 = cache.get_1d("scanu", 1000, "fp16", s=32)  # same padded class
+    p3 = cache.get_1d("scanu", 2000, "fp16", s=32)  # different class
+    assert p1 is p2 and p1 is not p3
+    assert (cache.hits, cache.misses) == (1, 2)
+    assert len(cache) == 2
+    assert cache.stats()["plans"] == 2
+    assert cache.gm_bytes > 0
+    assert cache.build_host_s > 0
+
+
+def test_separate_plans_per_algorithm_dtype_exclusive(cache):
+    a = cache.get_1d("scanu", 100, "fp16", s=32)
+    b = cache.get_1d("scanu", 100, "int8", s=32)
+    c = cache.get_1d("mcscan", 100, "fp16", s=32)
+    d = cache.get_1d("mcscan", 100, "fp16", s=32, exclusive=True)
+    assert len({id(p) for p in (a, b, c, d)}) == 4
+    assert cache.misses == 4
+
+
+def test_build_validates_against_oracle(cache):
+    plan = cache.get_1d("scanu", 500, "fp16", s=32)
+    assert plan.validated is True
+    assert plan.build_max_err == 0.0
+    # scanul1 int8 is the documented exemption (int8 L1 staging of C1)
+    plan = cache.get_1d("scanul1", 500, "int8", s=32)
+    assert plan.validated is None
+
+
+def test_plan_execute_checks_shape_and_dtype(cache):
+    plan = cache.get_1d("scanu", 1024, "fp16", s=32)
+    with pytest.raises(KernelError, match="fp16"):
+        plan.execute(np.zeros(1024, dtype=np.int8))
+    with pytest.raises(ShapeError):
+        plan.execute(np.zeros(2048, dtype=np.float16))  # other shape class
+    with pytest.raises(ShapeError):
+        plan.execute(np.zeros((4, 256), dtype=np.float16))
+
+
+def test_plan_execute_counts_and_replays(cache):
+    plan = cache.get_1d("scanu", 100, "fp16", s=32)
+    x = np.ones(100, dtype=np.float16)
+    r1 = plan.execute(x)
+    r2 = plan.execute(x)
+    assert plan.executions == 2
+    assert np.array_equal(r1.values, np.arange(1, 101, dtype=np.float32))
+    assert np.array_equal(r1.values, r2.values)
+    # replay re-schedules the same DAG: identical simulated time
+    assert r1.trace.total_ns == r2.trace.total_ns
+    assert r1.n_elements == 100
+
+
+def test_batched_plan_serves_smaller_batches(cache):
+    plan = cache.get_batched("scanu", 8, 600, "fp16", s=32)
+    x = np.ones((3, 600), dtype=np.float16)
+    res = plan.execute(x)
+    assert res.values.shape == (3, 600)
+    expected = np.tile(np.arange(1, 601, dtype=np.float32), (3, 1))
+    assert np.array_equal(res.values, expected)
+    with pytest.raises(ShapeError, match="rows"):
+        plan.execute(np.ones((9, 600), dtype=np.float16))
+
+
+def test_exclusive_plan(cache):
+    plan = cache.get_1d("mcscan", 64, "fp16", s=32, exclusive=True)
+    res = plan.execute(np.ones(64, dtype=np.float16))
+    assert np.array_equal(res.values, np.arange(0, 64, dtype=np.float32))

@@ -1,0 +1,181 @@
+"""ScanService: submit/flush semantics, request batching, statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reference import exclusive_scan, inclusive_scan
+from repro.errors import ShapeError
+from repro.hw.config import toy_config
+from repro.serve import ScanService, bucket_size
+from repro.serve.batcher import RequestBatcher
+
+
+@pytest.fixture()
+def service() -> ScanService:
+    return ScanService(config=toy_config(), max_batch=8)
+
+
+def _x(n, seed=0, dtype=np.float16):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-2, 3, n).astype(dtype)
+
+
+def test_bucket_size_powers_of_two():
+    assert [bucket_size(k) for k in (1, 2, 3, 4, 5, 8, 9)] == [
+        1, 2, 4, 4, 8, 8, 16,
+    ]
+    assert bucket_size(100, max_batch=16) == 16
+    with pytest.raises(ValueError):
+        bucket_size(0)
+
+
+def test_submit_validates_input(service):
+    with pytest.raises(ShapeError):
+        service.submit(np.zeros((2, 3), dtype=np.float16))
+    with pytest.raises(ShapeError):
+        service.submit(np.zeros(0, dtype=np.float16))
+    # bad algorithm/dtype rejected at submit, not at flush
+    with pytest.raises(Exception):
+        service.submit(_x(10), algorithm="bogus")
+    with pytest.raises(Exception):
+        service.submit(np.zeros(10, dtype=np.float32))
+    assert service.pending == 0
+
+
+def test_ticket_lifecycle(service):
+    x = _x(500)
+    t = service.submit(x, algorithm="scanu", s=32)
+    assert not t.done
+    with pytest.raises(RuntimeError, match="queued"):
+        t.result()
+    assert service.pending == 1
+    done = service.flush()
+    assert done == [t] and t.done
+    assert service.pending == 0
+    assert np.array_equal(t.result(), inclusive_scan(x))
+    assert t.host_s > 0
+    assert t.device_ns > 0
+
+
+def test_same_shape_requests_coalesce(service):
+    xs = [_x(700, seed=i) for i in range(5)]
+    ts = [service.submit(x, algorithm="scanu", s=32) for x in xs]
+    service.flush()
+    for x, t in zip(xs, ts):
+        assert t.batched
+        assert t.batch_size == 5
+        assert np.array_equal(t.result(), inclusive_scan(x))
+    # one batched launch for all five requests
+    assert service.stats.launch_count == 1
+    assert service.stats.launches[0].kind == "batched"
+    assert service.stats.launches[0].requests == 5
+    assert service.stats.coalesced_requests == 5
+
+
+def test_different_shapes_split_launches(service):
+    a = service.submit(_x(700), algorithm="scanu", s=32)
+    b = service.submit(_x(700, 1), algorithm="scanu", s=32)
+    c = service.submit(_x(9000), algorithm="scanu", s=32)  # other class
+    d = service.submit(_x(700, 2), algorithm="scanul1", s=32)  # other algo
+    service.flush()
+    assert a.batched and b.batched and a.batch_size == 2
+    assert not c.batched and not d.batched
+    for t, n in ((a, 700), (b, 700), (c, 9000), (d, 700)):
+        assert t.n == n and t.done
+
+
+def test_singletons_fall_back_to_1d_plans(service):
+    t = service.submit(_x(500), algorithm="scanu", s=32)
+    service.flush()
+    assert not t.batched and t.batch_size == 1
+    assert service.stats.launches[0].kind == "single"
+
+
+def test_min_group_and_batching_toggle():
+    svc = ScanService(config=toy_config(), min_group=3)
+    ts = [svc.submit(_x(600, i), algorithm="scanu", s=32) for i in range(2)]
+    svc.flush()
+    assert not any(t.batched for t in ts)  # below min_group
+
+    svc2 = ScanService(config=toy_config(), batching=False)
+    ts2 = [svc2.submit(_x(600, i), algorithm="scanu", s=32) for i in range(4)]
+    svc2.flush()
+    assert not any(t.batched for t in ts2)
+    for i, t in enumerate(ts2):
+        assert np.array_equal(t.result(), inclusive_scan(_x(600, i)))
+
+
+def test_oversized_groups_split_at_max_batch():
+    svc = ScanService(config=toy_config(), max_batch=4)
+    ts = [svc.submit(_x(600, i), algorithm="scanu", s=32) for i in range(6)]
+    svc.flush()
+    sizes = sorted(t.batch_size for t in ts)
+    assert sizes == [2, 2, 4, 4, 4, 4]
+    assert svc.stats.launch_count == 2
+
+
+def test_mcscan_and_exclusive_served_individually(service):
+    x = _x(800)
+    inc = service.submit(x, algorithm="mcscan", s=32)
+    exc = service.submit(x, algorithm="mcscan", s=32, exclusive=True)
+    service.flush()
+    assert not inc.batched and not exc.batched
+    assert np.array_equal(inc.result(), inclusive_scan(x))
+    assert np.array_equal(exc.result(), exclusive_scan(x))
+
+
+def test_plan_hits_after_first_flush(service):
+    for round_ in range(2):
+        ts = [service.submit(_x(700, i), algorithm="scanu", s=32)
+              for i in range(3)]
+        service.flush()
+        assert all(t.plan_hit == (round_ == 1) for t in ts)
+    assert service.cache.stats()["misses"] == 1
+    assert service.cache.stats()["hits"] == 1
+
+
+def test_int8_requests(service):
+    x = _x(700, dtype=np.int8)
+    ts = [service.submit(x, algorithm="scanu", s=32) for _ in range(2)]
+    service.flush()
+    for t in ts:
+        assert t.dtype == "int8"
+        assert np.array_equal(t.result(), inclusive_scan(x))
+
+
+def test_flush_returns_submit_order(service):
+    xs = [_x(700, 0), _x(9000, 1), _x(700, 2)]
+    ts = [service.submit(x, algorithm="scanu", s=32) for x in xs]
+    done = service.flush()
+    assert [t.req_id for t in done] == [t.req_id for t in ts]
+
+
+def test_stats_and_summary(service):
+    for i in range(4):
+        service.submit(_x(700, i), algorithm="scanu", s=32)
+    service.flush()
+    s = service.stats
+    assert s.requests == 4
+    assert s.n_elements == 4 * 700
+    assert s.gelems_per_s > 0
+    assert s.bandwidth_gbps > 0
+    assert 0 < s.mean_host_latency_s
+    assert s.host_latency_percentile_s(0.5) <= s.host_latency_percentile_s(0.99)
+    text = service.summary()
+    assert "plan cache" in text and "requests" in text
+
+
+def test_empty_flush_is_noop(service):
+    assert service.flush() == []
+    assert service.stats.requests == 0
+
+
+def test_batcher_drain_clears_queue(service):
+    batcher: RequestBatcher = service.batcher
+    service.submit(_x(100), algorithm="scanu", s=32)
+    assert len(batcher) == 1
+    service.flush()
+    assert len(batcher) == 0
+    assert batcher.drained == 1
