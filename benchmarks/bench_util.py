@@ -1,0 +1,24 @@
+"""Shared helpers for persisting benchmark results.
+
+Text reports (``results/*.txt``) are for humans; the ``BENCH_*.json``
+files written here are the machine-readable counterpart so the perf
+trajectory stays diffable/plottable across PRs.  Keep the payloads to
+plain scalars (every report dict in :mod:`repro.serve.bench` already is)
+— the writer rejects anything ``json`` can't encode rather than pickling
+it into an unreadable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["write_bench_json"]
+
+
+def write_bench_json(results_dir: pathlib.Path, name: str, payload: dict) -> pathlib.Path:
+    """Write ``payload`` to ``results_dir/BENCH_<name>.json`` (sorted keys,
+    trailing newline) and return the path."""
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -8,7 +8,8 @@ Subcommands:
 * ``experiment`` — regenerate one of the paper's figures (or ``all``) and
   print its series table;
 * ``serve-bench`` — measure the plan-cached serving layer (cache-hit
-  latency vs trace-every-call, batched-submission throughput);
+  latency vs trace-every-call, batched-submission throughput, and the
+  DES / compiled / memoized replay-engine comparison);
 * ``sort`` / ``compress`` / ``topp`` — run one operator comparison.
 
 Examples::
@@ -109,7 +110,9 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_serve_bench(args) -> int:
-    from .serve.bench import format_report, run_serve_bench
+    import json
+
+    from .serve.bench import format_report, run_serve_bench, serve_bench_json
 
     report = run_serve_bench(
         n=_parse_size(args.n),
@@ -124,6 +127,11 @@ def cmd_serve_bench(args) -> int:
         with open(args.out, "w") as f:
             f.write(text + "\n")
         print(f"\nwrote report to {args.out}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(serve_bench_json(report), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote machine-readable report to {args.json}")
     return 0
 
 
@@ -219,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--repeats", type=int, default=3,
                     help="best-of repeats for host timings")
     pv.add_argument("--out", help="also write the report to a file")
+    pv.add_argument("--json", help="also write a machine-readable JSON report")
     pv.set_defaults(fn=cmd_serve_bench)
 
     po = sub.add_parser("sort", help="radix sort vs torch.sort")

@@ -16,8 +16,10 @@ Two execution disciplines are offered:
 * **planned** (:meth:`ScanContext.build_plan` / :meth:`ScanPlan.execute`)
   — the expensive Python-level kernel trace (op-DAG emission plus hazard
   analysis) runs once per shape; each subsequent execution re-runs only the
-  functional NumPy computation and the discrete-event scheduler.  This is
-  the substrate of the request-serving layer in :mod:`repro.serve`.
+  functional NumPy computation, and the timeline itself is memoized on the
+  traced program (the op DAG's costs are fixed at trace time, so replays
+  are deterministic — see :mod:`repro.hw.compiled`).  This is the
+  substrate of the request-serving layer in :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -139,6 +141,16 @@ class ScanPlan:
         return self.batch is not None
 
     @property
+    def timeline_hits(self) -> int:
+        """Executions served from the memoized timeline (no scheduling)."""
+        return self.traced.timeline_hits
+
+    @property
+    def timeline_misses(self) -> int:
+        """Executions that had to compute the timeline."""
+        return self.traced.timeline_misses
+
+    @property
     def key(self) -> tuple:
         """Canonical cache key (see ``repro.serve.plan.PlanCache``)."""
         return (
@@ -158,16 +170,32 @@ class ScanPlan:
                 f"plan is for {self.in_dtype.name} inputs, got {x.dtype}"
             )
 
-    def execute(self, x: np.ndarray, *, sync_gm: bool = False) -> ScanResult:
+    def execute(
+        self,
+        x: np.ndarray,
+        *,
+        sync_gm: bool = False,
+        engine: str = "cached",
+        audit_timing: "bool | None" = None,
+    ) -> ScanResult:
         """Run the plan on new input values (the cache-hit path).
 
         ``x`` must pad to this plan's padded shape.  With ``sync_gm`` the
         device GM mirrors are also updated (slower; useful when chaining
         device-level inspection onto a plan execution).
+
+        ``engine`` and ``audit_timing`` are forwarded to
+        :meth:`~repro.hw.device.AscendDevice.replay`: the default serves
+        the memoized timeline (ns-identical to rescheduling, since the op
+        DAG's costs are fixed at trace time); ``engine="des"`` forces the
+        reference scheduler and ``audit_timing=True`` cross-checks the
+        served timeline against it.
         """
         x = np.asarray(x)
         if self.is_batched:
-            return self._execute_batched(x, sync_gm=sync_gm)
+            return self._execute_batched(
+                x, sync_gm=sync_gm, engine=engine, audit_timing=audit_timing
+            )
         if x.ndim != 1:
             raise ShapeError(f"1-D plan expects a 1-D array, got shape {x.shape}")
         self._check_dtype(x)
@@ -188,12 +216,21 @@ class ScanPlan:
         if sync_gm:
             self.x_gm.write(xp)
             self.y_gm.write(values)
-        trace = self.ctx.device.replay(self.traced)
+        trace = self.ctx.device.replay(
+            self.traced, engine=engine, audit_timing=audit_timing
+        )
         self.executions += 1
         io = n * self._io_bytes_per_element()
         return ScanResult(values[:n], trace, n, io)
 
-    def _execute_batched(self, x: np.ndarray, *, sync_gm: bool) -> ScanResult:
+    def _execute_batched(
+        self,
+        x: np.ndarray,
+        *,
+        sync_gm: bool,
+        engine: str = "cached",
+        audit_timing: "bool | None" = None,
+    ) -> ScanResult:
         if x.ndim != 2:
             raise ShapeError(f"batched plan expects a 2-D array, got {x.shape}")
         self._check_dtype(x)
@@ -218,7 +255,9 @@ class ScanPlan:
         if sync_gm:
             self.x_gm.write(xp)
             self.y_gm.write(values)
-        trace = self.ctx.device.replay(self.traced)
+        trace = self.ctx.device.replay(
+            self.traced, engine=engine, audit_timing=audit_timing
+        )
         self.executions += 1
         n = rows * row_len
         io = n * self._io_bytes_per_element()

@@ -47,3 +47,8 @@ class SchedulerError(ReproError):
 
 class DeadlockError(SchedulerError):
     """No runnable operation remains while unfinished operations exist."""
+
+
+class TimingAuditError(SchedulerError):
+    """A compiled/memoized timeline disagreed with the reference discrete-
+    event scheduler (``AscendDevice.replay(..., audit_timing=True)``)."""

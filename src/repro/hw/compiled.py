@@ -1,0 +1,371 @@
+"""Compiled replay: a :class:`~repro.hw.scheduler.Program` lowered to
+array form for fast repeated scheduling.
+
+:func:`~repro.hw.scheduler.simulate` is the *reference* discrete-event
+scheduler: it rebuilds dependency bookkeeping from the op objects on every
+call and prices concurrent-flow bandwidth with the general max-min
+waterfill solver on every event.  For a traced program all of that work is
+shape-derived and identical across executions, so :class:`CompiledProgram`
+does it once at compile time:
+
+* per-op attributes (engine, first-event duration, effective drain bytes)
+  are resolved into flat arrays — the event loop never touches an
+  :class:`~repro.hw.isa.Op` object;
+* dependency counts and the dependents adjacency are precomputed in CSR
+  form (``dep_indptr`` / ``dep_indices``);
+* concurrent drain rates depend only on the *number* of active flows
+  (every DMA flow shares the same MTE link cap), so they come from
+  :func:`~repro.hw.hbm.equal_waterfill`, memoized per active-flow count —
+  the general solver is never called at event time;
+* drain updates and next-completion scans run vectorized over the active-
+  flow arrays once the flow count makes that worthwhile (below the
+  crossover a scalar loop over the same values is faster; both paths
+  perform the identical sequence of IEEE operations).
+
+The engine is **bit-compatible** with ``simulate``: every float in the
+resulting :class:`~repro.hw.scheduler.Timeline` is produced by the same
+sequence of IEEE-754 operations, so timelines are ns-identical — the
+differential suite in ``tests/hw/test_compiled.py`` enforces this per op
+over every kernel, and ``AscendDevice.replay(..., audit_timing=True)``
+re-runs the reference DES at replay time and asserts equality.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from ..errors import DeadlockError, SchedulerError, TimingAuditError
+from .config import DeviceConfig
+from .hbm import equal_waterfill
+from .scheduler import _BYTES_EPS, _EPS, Program, Timeline
+
+__all__ = ["CompiledProgram", "assert_timelines_equal"]
+
+#: active-flow count at or above which the drain step switches from the
+#: scalar loop to vectorized NumPy updates (same IEEE ops either way; the
+#: crossover only trades interpreter overhead against ufunc dispatch)
+_VECTOR_FLOW_THRESHOLD = 16
+
+_INF = float("inf")
+
+
+class CompiledProgram:
+    """A program compiled against one device config, replayable many times.
+
+    Compilation validates the program (negative durations are rejected
+    here rather than at start time) and freezes every shape-derived
+    quantity; :meth:`run` then replays the event loop over the arrays.
+    """
+
+    def __init__(self, program: Program, config: DeviceConfig):
+        self.program = program
+        self.config = config
+        ops = program.ops
+        n = self.n = len(ops)
+        self.num_engines = program.num_engines
+
+        cycle_ns = config.cycle_ns
+        mte_fixed_ns = (
+            config.cycles_to_ns(config.costs.mte_issue_cycles)
+            + config.memory.gm_latency_ns
+        )
+        self.link_rate = config.mte_link_bytes_per_ns
+        self.pool_rate = config.hbm_bytes_per_ns
+
+        # -- per-op arrays (the compiled form) -----------------------------
+        self.engine_of = np.fromiter(
+            (op.engine for op in ops), np.int32, count=n
+        )
+        self.is_flow = np.fromiter((op.is_flow for op in ops), bool, count=n)
+        # duration of an op's first (and for fixed ops, only) heap event:
+        # flows pay their latency phase, fixed ops their cycle time — the
+        # same float expressions simulate evaluates at start time
+        first = np.empty(n, np.float64)
+        eff = np.zeros(n, np.float64)
+        for i, op in enumerate(ops):
+            if op.is_flow:
+                first[i] = op.latency_ns if op.latency_ns > 0 else mte_fixed_ns
+                eff[i] = (
+                    op.eff_bytes if op.eff_bytes > 0 else float(op.gm_bytes)
+                )
+            else:
+                duration = op.cycles * cycle_ns
+                if duration < 0:
+                    raise SchedulerError(f"op {op.op_id} has negative duration")
+                first[i] = duration
+        self.first_dur_ns = first
+        self.eff_bytes = eff
+
+        # -- dependency CSR -------------------------------------------------
+        deps = program.op_deps
+        self.dep_count0 = np.fromiter(
+            (len(d) for d in deps), np.int32, count=n
+        )
+        out_degree = np.zeros(n, np.int64)
+        for ds in deps:
+            for d in ds:
+                out_degree[d] += 1
+        indptr = np.zeros(n + 1, np.int64)
+        np.cumsum(out_degree, out=indptr[1:])
+        indices = np.zeros(int(indptr[-1]), np.int32)
+        fill = indptr[:-1].copy()
+        for i, ds in enumerate(deps):
+            for d in ds:
+                indices[fill[d]] = i
+                fill[d] += 1
+        self.dep_indptr = indptr
+        self.dep_indices = indices
+
+        #: per-engine issue queues, frozen
+        self.queues = [np.asarray(q, np.int32) for q in program.engine_queues]
+
+        # scalar-loop mirrors (plain Python objects index faster than
+        # 0-d array extraction in the event loop; values are identical)
+        self._py_engine = self.engine_of.tolist()
+        self._py_first = self.first_dur_ns.tolist()
+        self._py_eff = self.eff_bytes.tolist()
+        self._py_is_flow = self.is_flow.tolist()
+        self._py_indptr = self.dep_indptr.tolist()
+        self._py_indices = self.dep_indices.tolist()
+        self._py_queues = [q.tolist() for q in self.queues]
+
+        #: drain rates memoized per active-flow count (see equal_waterfill)
+        self._rates: dict[int, tuple[list, np.ndarray, bool]] = {}
+
+    # -- rate cache ---------------------------------------------------------
+
+    def _rates_for(self, k: int) -> "tuple[list, np.ndarray, bool]":
+        """(list form, array form, all-positive) of the k-flow drain rates."""
+        entry = self._rates.get(k)
+        if entry is None:
+            rates = equal_waterfill(k, self.link_rate, self.pool_rate)
+            arr = np.asarray(rates, np.float64)
+            entry = (rates, arr, bool((arr > 0.0).all()))
+            self._rates[k] = entry
+        return entry
+
+    # -- replay -------------------------------------------------------------
+
+    def run(self) -> Timeline:
+        """Replay the event loop over the compiled arrays.
+
+        Returns a timeline ns-identical to ``simulate(program, config)``.
+        """
+        n = self.n
+        if n == 0:
+            return Timeline([], [], 0.0)
+
+        start_ns = [-1.0] * n
+        finish_ns = [-1.0] * n
+        dep_count = self.dep_count0.tolist()
+        engine = self._py_engine
+        first_dur = self._py_first
+        eff_bytes = self._py_eff
+        is_flow = self._py_is_flow
+        indptr = self._py_indptr
+        indices = self._py_indices
+        queues = self._py_queues
+        queue_len = [len(q) for q in queues]
+        num_engines = self.num_engines
+        pool_rate = self.pool_rate
+
+        engine_pos = [0] * num_engines
+        engine_busy = [False] * num_engines
+
+        fixed_heap: "list[tuple[float, int]]" = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        # active draining flows in insertion order (matches the reference
+        # scheduler's dict order, which fixes each flow's rate position)
+        act_ids: "list[int]" = []
+        act_rem: "list[float]" = []
+
+        t = 0.0
+        n_done = 0
+        touched: "list[int]" = []
+
+        def try_start(e: int) -> None:
+            if engine_busy[e]:
+                return
+            pos = engine_pos[e]
+            if pos >= queue_len[e]:
+                return
+            op_id = queues[e][pos]
+            if dep_count[op_id] > 0:
+                return
+            engine_busy[e] = True
+            start_ns[op_id] = t
+            heappush(fixed_heap, (t + first_dur[op_id], op_id))
+
+        def complete(op_id: int) -> None:
+            nonlocal n_done
+            finish_ns[op_id] = t
+            n_done += 1
+            e = engine[op_id]
+            engine_busy[e] = False
+            engine_pos[e] += 1
+            touched.append(e)
+            for j in range(indptr[op_id], indptr[op_id + 1]):
+                d = indices[j]
+                dep_count[d] -= 1
+                if dep_count[d] == 0:
+                    touched.append(engine[d])
+
+        for e in range(num_engines):
+            try_start(e)
+
+        while n_done < n:
+            k = len(act_ids)
+            if not fixed_heap and k == 0:
+                unfinished = [
+                    i for i in range(n) if finish_ns[i] < 0.0
+                ][:8]
+                raise DeadlockError(
+                    f"no runnable op at t={t:.1f}ns with {n - n_done} ops "
+                    f"pending (first pending: {unfinished}); check for "
+                    f"dependency cycles or a kernel that never frees a "
+                    f"queue slot"
+                )
+
+            t_fixed = fixed_heap[0][0] if fixed_heap else _INF
+
+            if k == 0:
+                t_next = t_fixed
+                if t_next == _INF:
+                    raise SchedulerError(
+                        "no progress possible: flows have zero rate"
+                    )
+                if t_next < t - _EPS:
+                    raise SchedulerError(
+                        f"time went backwards: {t_next} < {t}"
+                    )
+                t = t_next
+            elif k < _VECTOR_FLOW_THRESHOLD:
+                # scalar drain path: same IEEE ops as the vector path below
+                rates, _, _ = self._rates_for(k)
+                t_flow = _INF
+                for i in range(k):
+                    r = rates[i]
+                    if r > 0:
+                        cand = t + act_rem[i] / r
+                        if cand < t_flow:
+                            t_flow = cand
+                t_next = t_fixed if t_fixed <= t_flow else t_flow
+                if t_next == _INF:
+                    raise SchedulerError(
+                        "no progress possible: flows have zero rate"
+                    )
+                if t_next < t - _EPS:
+                    raise SchedulerError(
+                        f"time went backwards: {t_next} < {t}"
+                    )
+                dt = t_next - t
+                if dt > 0:
+                    for i in range(k):
+                        act_rem[i] -= rates[i] * dt
+                t = t_next
+            else:
+                rates, rate_arr, all_pos = self._rates_for(k)
+                rem = np.asarray(act_rem, np.float64)
+                # fl(t + q) is monotone in q, so t + min(q) == min(t + q)
+                if all_pos:
+                    t_flow = t + (rem / rate_arr).min()
+                else:
+                    with np.errstate(divide="ignore"):
+                        cand = rem / rate_arr
+                    pos_mask = rate_arr > 0
+                    t_flow = (
+                        t + cand[pos_mask].min() if pos_mask.any() else _INF
+                    )
+                t_next = t_fixed if t_fixed <= t_flow else t_flow
+                if t_next == _INF:
+                    raise SchedulerError(
+                        "no progress possible: flows have zero rate"
+                    )
+                if t_next < t - _EPS:
+                    raise SchedulerError(
+                        f"time went backwards: {t_next} < {t}"
+                    )
+                dt = t_next - t
+                if dt > 0:
+                    rem -= rate_arr * dt
+                    act_rem = rem.tolist()
+                t = float(t_next)
+
+            # flows drained below the clock-scaled epsilon complete first
+            # (the threshold expression matches simulate exactly)
+            if act_ids:
+                drain_eps = _BYTES_EPS + pool_rate * 8.0 * math.ulp(
+                    max(t, 1.0)
+                )
+                finished = [
+                    i for i in range(len(act_ids)) if act_rem[i] <= drain_eps
+                ]
+                if finished:
+                    for i in finished:
+                        complete(act_ids[i])
+                    keep = [
+                        i
+                        for i in range(len(act_ids))
+                        if act_rem[i] > drain_eps
+                    ]
+                    act_ids = [act_ids[i] for i in keep]
+                    act_rem = [act_rem[i] for i in keep]
+
+            # fixed-duration ops / flow latency phases that elapsed
+            t_eps = t + _EPS
+            while fixed_heap and fixed_heap[0][0] <= t_eps:
+                _, op_id = heappop(fixed_heap)
+                if is_flow[op_id]:
+                    rem_bytes = eff_bytes[op_id]
+                    if rem_bytes <= _BYTES_EPS:
+                        complete(op_id)
+                    else:
+                        act_ids.append(op_id)
+                        act_rem.append(rem_bytes)
+                else:
+                    complete(op_id)
+
+            if touched:
+                for e in set(touched):
+                    try_start(e)
+                touched.clear()
+
+        return Timeline(start_ns, finish_ns, float(t))
+
+
+def assert_timelines_equal(
+    got: Timeline, want: Timeline, *, label: str = "program"
+) -> None:
+    """Raise :class:`TimingAuditError` unless the timelines are ns-identical.
+
+    Equality is exact (no tolerance): the compiled engine is required to be
+    bit-compatible with the reference scheduler, so any drift — even one
+    ulp — is a bug worth failing loudly on.
+    """
+    if len(got.start_ns) != len(want.start_ns):
+        raise TimingAuditError(
+            f"timing audit failed for {label}: op count differs "
+            f"({len(got.start_ns)} vs {len(want.start_ns)})"
+        )
+    if got.total_ns != want.total_ns:
+        raise TimingAuditError(
+            f"timing audit failed for {label}: total {got.total_ns!r} ns "
+            f"!= reference {want.total_ns!r} ns"
+        )
+    for i, (gs, ws) in enumerate(zip(got.start_ns, want.start_ns)):
+        if gs != ws:
+            raise TimingAuditError(
+                f"timing audit failed for {label}: op {i} start "
+                f"{gs!r} != reference {ws!r}"
+            )
+    for i, (gf, wf) in enumerate(zip(got.finish_ns, want.finish_ns)):
+        if gf != wf:
+            raise TimingAuditError(
+                f"timing audit failed for {label}: op {i} finish "
+                f"{gf!r} != reference {wf!r}"
+            )

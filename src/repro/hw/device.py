@@ -22,14 +22,15 @@ then replays the op DAG to produce the timeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import KernelError, SchedulerError
 from .cache import L2Cache
+from .compiled import CompiledProgram, assert_timelines_equal
 from .config import ASCEND_910B4, DeviceConfig
 from .isa import CUBE_ENGINES, VECTOR_ENGINES, CostModel, EngineKind, Op
 from .memory import GlobalMemory, GlobalSlice, GlobalTensor
-from .scheduler import Program, simulate
+from .scheduler import Program, Timeline, simulate
 from .trace import EngineInfo, Trace
 
 __all__ = ["AscendDevice", "Emitter", "CoreHandle", "TracedKernel", "HazardAccess"]
@@ -264,25 +265,58 @@ class TracedKernel:
     """The reusable product of one kernel emission: the op DAG plus launch
     metadata.  Replaying it (:meth:`AscendDevice.replay`) re-runs only the
     scheduler — the Python-level kernel code does not execute again, which
-    is what the serve layer's plan cache banks on."""
+    is what the serve layer's plan cache banks on.
+
+    Because every op's cycles/bytes are fixed at trace time, the timeline
+    itself is deterministic per device config.  Replay therefore memoizes
+    both the compiled program (:class:`~repro.hw.compiled.CompiledProgram`)
+    and the first computed :class:`Timeline` on this record; subsequent
+    replays against the same config are a cache hit and skip scheduling
+    entirely.  :attr:`timeline_hits` / :attr:`timeline_misses` count these
+    (the serve layer surfaces them as the timeline-cache hit rate)."""
 
     program: Program
     label: str
     audit: "list[HazardAccess] | None" = None
+    #: replays served from the memoized timeline / computed fresh
+    timeline_hits: int = 0
+    timeline_misses: int = 0
+    _compiled: "CompiledProgram | None" = field(default=None, repr=False)
+    _timeline: "Timeline | None" = field(default=None, repr=False)
+    #: config the cached timeline/compiled form were built against —
+    #: replaying the same trace on a differently-configured device
+    #: invalidates both rather than serving stale timings
+    _timeline_config: "DeviceConfig | None" = field(default=None, repr=False)
 
     @property
     def ops(self) -> list[Op]:
         return self.program.ops
 
+    def invalidate_timeline(self) -> None:
+        """Drop the memoized timeline and compiled form (counters persist)."""
+        self._compiled = None
+        self._timeline = None
+        self._timeline_config = None
+
 
 class AscendDevice:
     """A simulated Ascend accelerator."""
 
-    def __init__(self, config: DeviceConfig = ASCEND_910B4, *, audit_hazards: bool = False):
+    def __init__(
+        self,
+        config: DeviceConfig = ASCEND_910B4,
+        *,
+        audit_hazards: bool = False,
+        audit_timing: bool = False,
+    ):
         self.config = config
         #: when True, every emitted op logs its data accesses (HazardAccess)
         #: so tests can independently verify synchronization coverage
         self.audit_hazards = audit_hazards
+        #: when True, every replay re-runs the reference DES alongside the
+        #: compiled/memoized timeline and raises TimingAuditError on any
+        #: ns-level disagreement (per-call override: replay(audit_timing=))
+        self.audit_timing = audit_timing
         self.memory = GlobalMemory(config)
         self.l2 = L2Cache(config)
         self.costs = CostModel(config)
@@ -294,6 +328,11 @@ class AscendDevice:
         for i in range(config.num_vector_cores):
             for kind in VECTOR_ENGINES:
                 self._add_engine("aiv", i, kind)
+        # the sync pseudo-engine row appended to every trace is identical
+        # across replays, so build the trace engine table once
+        self._trace_engines = self.engines + [
+            EngineInfo(len(self.engines), "dev", 0, "sync")
+        ]
 
     def _add_engine(self, core_kind: str, core_index: int, engine_kind: str) -> None:
         eid = len(self.engines)
@@ -371,15 +410,64 @@ class AscendDevice:
             audit=emitter.audit,
         )
 
-    def replay(self, traced: TracedKernel, *, label: "str | None" = None) -> Trace:
-        """Schedule a previously traced op DAG: re-runs only the discrete-
-        event scheduler and wraps the timeline in a fresh :class:`Trace`."""
-        timeline = simulate(traced.program, self.config)
-        engines = self.engines + [EngineInfo(len(self.engines), "dev", 0, "sync")]
+    def replay(
+        self,
+        traced: TracedKernel,
+        *,
+        label: "str | None" = None,
+        engine: str = "cached",
+        audit_timing: "bool | None" = None,
+    ) -> Trace:
+        """Schedule a previously traced op DAG and wrap the timeline in a
+        fresh :class:`Trace`.
+
+        ``engine`` selects the scheduling path:
+
+        * ``"cached"`` (default) — serve the memoized timeline if one exists
+          for this device config, otherwise compute it with the compiled
+          engine and cache it on ``traced``;
+        * ``"compiled"`` — always run :class:`CompiledProgram` (compiled
+          form is still cached, the timeline is recomputed);
+        * ``"des"`` — always run the reference :func:`simulate` (PR 1
+          behaviour; nothing is cached).
+
+        ``audit_timing`` (default: the device's ``audit_timing`` flag)
+        re-runs the reference DES regardless of path and raises
+        :class:`~repro.errors.TimingAuditError` unless the served timeline
+        is ns-identical — the escape hatch for distrusting the cache.
+        """
+        if engine not in ("cached", "compiled", "des"):
+            raise SchedulerError(f"unknown replay engine {engine!r}")
+        audit = self.audit_timing if audit_timing is None else audit_timing
+
+        if engine == "des":
+            timeline = simulate(traced.program, self.config)
+        else:
+            if traced._timeline_config is not self.config:
+                traced.invalidate_timeline()
+                traced._timeline_config = self.config
+            if engine == "cached" and traced._timeline is not None:
+                timeline = traced._timeline
+                traced.timeline_hits += 1
+            else:
+                if traced._compiled is None:
+                    traced._compiled = CompiledProgram(
+                        traced.program, self.config
+                    )
+                timeline = traced._compiled.run()
+                traced._timeline = timeline
+                traced.timeline_misses += 1
+
+        if audit:
+            reference = simulate(traced.program, self.config)
+            assert_timelines_equal(
+                timeline, reference, label=label or traced.label
+            )
+
         return Trace(
             ops=traced.program.ops,
             timeline=timeline,
-            engines=engines,
+            engines=self._trace_engines,
             config=self.config,
             label=label or traced.label,
             launch_ns=self.config.costs.kernel_launch_ns,

@@ -39,11 +39,21 @@ _BYTES_EPS = 1e-6
 
 
 class Program:
-    """An append-only list of ops plus per-engine issue queues."""
+    """An append-only list of ops plus per-engine issue queues.
+
+    Dependency bookkeeping is owned by the program, not the op records:
+    ``add`` computes each op's *effective* dependencies — the op's own
+    ``deps`` plus the active fence edge, deduplicated once — and stores
+    them in :attr:`op_deps`.  ``op.deps`` itself is never mutated, so one
+    ``Op`` record can safely be added to several programs (each with its
+    own fence state) and both schedulers skip per-run deduplication.
+    """
 
     def __init__(self, num_engines: int):
         self.num_engines = num_engines
         self.ops: list[Op] = []
+        #: per-op effective dependencies: deduped, fence edge included
+        self.op_deps: list[tuple[int, ...]] = []
         self.engine_queues: list[list[int]] = [[] for _ in range(num_engines)]
         self._engine_last: list[int] = [-1] * num_engines
         self._fence: int = -1  # op id of the last device-wide barrier
@@ -56,18 +66,24 @@ class Program:
             )
         if not 0 <= op.engine < self.num_engines:
             raise SchedulerError(f"op {op.op_id} targets unknown engine {op.engine}")
-        if self._fence >= 0 and not op.is_barrier:
-            if self._fence not in op.deps:
-                op.deps = op.deps + (self._fence,)
-        for dep in op.deps:
+        deps = op.deps
+        if self._fence >= 0 and not op.is_barrier and self._fence not in deps:
+            deps = deps + (self._fence,)
+        deps = tuple(dict.fromkeys(deps))  # dedupe, preserving first occurrence
+        for dep in deps:
             if dep >= op.op_id or dep < 0:
                 raise SchedulerError(
                     f"op {op.op_id} depends on invalid op {dep} (forward or negative)"
                 )
         self.ops.append(op)
+        self.op_deps.append(deps)
         self.engine_queues[op.engine].append(op.op_id)
         self._engine_last[op.engine] = op.op_id
         return op.op_id
+
+    def deps_of(self, op_id: int) -> tuple[int, ...]:
+        """Effective (deduped, fence-fenced) dependencies of one op."""
+        return self.op_deps[op_id]
 
     def barrier_deps(self) -> tuple[int, ...]:
         """Dependencies a device-wide barrier needs: the last op issued on
@@ -105,13 +121,13 @@ def simulate(program: Program, config: DeviceConfig) -> Timeline:
     finish_ns = [-1.0] * n
     done = [False] * n
 
-    # dependency bookkeeping
+    # dependency bookkeeping (program.op_deps is already deduplicated)
     dep_count = [0] * n
     dependents: list[list[int]] = [[] for _ in range(n)]
     for op in ops:
-        unique_deps = set(op.deps)
-        dep_count[op.op_id] = len(unique_deps)
-        for d in unique_deps:
+        deps = program.op_deps[op.op_id]
+        dep_count[op.op_id] = len(deps)
+        for d in deps:
             dependents[d].append(op.op_id)
 
     # engine state

@@ -7,8 +7,8 @@ per-op data-access log recorded under ``AscendDevice(audit_hazards=True)``,
 every pair of ops that touches overlapping data with at least one write
 must be ordered by happens-before — the transitive closure of
 
-* explicit dependency edges (``op.deps``, which already include barrier
-  fences), and
+* explicit dependency edges (``program.deps_of(op_id)``, the program-side
+  effective deps which include barrier fences), and
 * per-engine program order (hardware instruction queues are in-order, so
   consecutive ops on one engine are implicitly ordered).
 
@@ -81,7 +81,8 @@ def ancestor_bitsets(program: Program) -> "list[int]":
     for op in program.ops:
         mask = 0
         prev = engine_prev[op.engine]
-        preds = op.deps if prev < 0 else (*op.deps, prev)
+        deps = program.deps_of(op.op_id)
+        preds = deps if prev < 0 else (*deps, prev)
         for d in preds:
             mask |= anc[d] | (1 << d)
         anc[op.op_id] = mask

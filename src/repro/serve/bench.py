@@ -15,7 +15,14 @@ Two claims are measured:
   coalesces them into one batched launch) vs calling the batched kernel
   directly on the same 2-D block.  When the batch fills its bucket the
   service issues the identical DAG, so the two agree to within noise; the
-  acceptance bar is 10%.
+  acceptance bar is 10%;
+* **replay engines** — host wall time of re-scheduling one cached plan
+  via the three replay paths: the reference discrete-event scheduler
+  (``engine="des"``, the per-execute cost before timeline memoization),
+  the compiled array-form engine (``"compiled"``) and the memoized
+  timeline (``"cached"``).  All three produce ns-identical timelines
+  (asserted here and in the differential test suite); the acceptance bar
+  is a >= 5x wall-clock win of the memoized path over the DES path.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import time
 import numpy as np
 
 from ..core.api import ScanContext
+from ..hw.compiled import assert_timelines_equal
 from ..hw.config import ASCEND_910B4, DeviceConfig
 from .plan import PlanCache
 from .service import ScanService
@@ -32,8 +40,10 @@ from .service import ScanService
 __all__ = [
     "bench_plan_cache",
     "bench_batched_throughput",
+    "bench_replay_engines",
     "run_serve_bench",
     "format_report",
+    "serve_bench_json",
 ]
 
 
@@ -136,6 +146,77 @@ def bench_batched_throughput(
     }
 
 
+def bench_replay_engines(
+    *,
+    algorithm: str = "scanul1",
+    n: int = 1 << 20,
+    dtype: str = "fp16",
+    s: int = 128,
+    repeats: int = 5,
+    config: DeviceConfig = ASCEND_910B4,
+    ctx: "ScanContext | None" = None,
+) -> dict:
+    """Replay-path wall clock for one plan: DES vs compiled vs memoized.
+
+    The replay timings isolate the scheduling cost (what timeline
+    memoization removes); the execute timings show the same three paths
+    end-to-end, where the functional NumPy computation is a shared floor.
+    Timelines from all three paths are asserted ns-identical, and one
+    ``audit_timing=True`` replay exercises the self-checking mode.
+    """
+    ctx = ctx if ctx is not None else ScanContext(config)
+    cache = PlanCache(ctx)
+    plan = cache.get_1d(algorithm, n, dtype, s=s)
+    traced = plan.traced
+    device = ctx.device
+    x = _bench_input(n, dtype)
+
+    des_trace = device.replay(traced, engine="des")
+    compiled_trace = device.replay(traced, engine="compiled")
+    cached_trace = device.replay(traced, engine="cached")
+    assert_timelines_equal(
+        compiled_trace.timeline, des_trace.timeline, label=f"{algorithm} compiled"
+    )
+    assert_timelines_equal(
+        cached_trace.timeline, des_trace.timeline, label=f"{algorithm} cached"
+    )
+    device.replay(traced, audit_timing=True)  # self-check mode stays live
+
+    replay_des_s = _best_of(lambda: device.replay(traced, engine="des"), repeats)
+    replay_compiled_s = _best_of(
+        lambda: device.replay(traced, engine="compiled"), repeats
+    )
+    replay_cached_s = _best_of(
+        lambda: device.replay(traced, engine="cached"), repeats
+    )
+    execute_des_s = _best_of(lambda: plan.execute(x, engine="des"), repeats)
+    execute_cached_s = _best_of(lambda: plan.execute(x), repeats)
+
+    return {
+        "algorithm": algorithm,
+        "n": n,
+        "dtype": dtype,
+        "s": s,
+        "ops": len(traced.program),
+        "replay_des_s": replay_des_s,
+        "replay_compiled_s": replay_compiled_s,
+        "replay_cached_s": replay_cached_s,
+        "replay_compiled_speedup": replay_des_s / replay_compiled_s
+        if replay_compiled_s > 0
+        else float("inf"),
+        "replay_cached_speedup": replay_des_s / replay_cached_s
+        if replay_cached_s > 0
+        else float("inf"),
+        "execute_des_s": execute_des_s,
+        "execute_cached_s": execute_cached_s,
+        "execute_speedup": execute_des_s / execute_cached_s
+        if execute_cached_s > 0
+        else float("inf"),
+        "timelines_identical": True,  # assert_timelines_equal above raised otherwise
+        "device_us": des_trace.total_ns / 1e3,
+    }
+
+
 def run_serve_bench(
     *,
     n: int = 1 << 20,
@@ -159,11 +240,19 @@ def run_serve_bench(
         )
         for a in ("scanu", "scanul1")
     ]
+    replay_rows = [
+        bench_replay_engines(
+            algorithm=a, n=n, dtype=dtype, repeats=repeats, ctx=ctx
+        )
+        for a in ("scanu", "scanul1", "mcscan")
+    ]
     return {
         "n": n,
         "dtype": dtype,
+        "config": config.name,
         "plan_cache": plan_rows,
         "batched": batched_rows,
+        "replay_engines": replay_rows,
     }
 
 
@@ -195,4 +284,29 @@ def format_report(report: dict) -> str:
             f"{r['direct_gelems']:8.1f} GE/s {r['service_gelems']:8.1f} GE/s "
             f"{r['throughput_ratio']:6.3f}"
         )
+    if report.get("replay_engines"):
+        lines += [
+            "",
+            "replay engines: scheduling wall time per execute "
+            "(timelines ns-identical across all three)",
+            f"{'algorithm':>10} {'ops':>5} {'DES':>10} {'compiled':>10} "
+            f"{'memoized':>10} {'cached/DES':>10}",
+        ]
+        for r in report["replay_engines"]:
+            lines.append(
+                f"{r['algorithm']:>10} {r['ops']:>5} "
+                f"{r['replay_des_s'] * 1e3:8.2f}ms "
+                f"{r['replay_compiled_s'] * 1e3:8.2f}ms "
+                f"{r['replay_cached_s'] * 1e3:8.2f}ms "
+                f"{r['replay_cached_speedup']:9.1f}x"
+            )
     return "\n".join(lines)
+
+
+def serve_bench_json(report: dict) -> dict:
+    """JSON-serializable form of a :func:`run_serve_bench` report.
+
+    The report dicts are already plain scalars/strings; this adds a schema
+    tag so ``BENCH_serve.json`` files stay comparable across PRs.
+    """
+    return {"schema": 1, "benchmark": "serve", **report}

@@ -159,6 +159,16 @@ class PlanCache:
             total += plan.y_gm.num_elements * plan.y_gm.dtype.itemsize
         return total
 
+    @property
+    def timeline_hits(self) -> int:
+        """Replays served from memoized timelines across all cached plans."""
+        return sum(p.timeline_hits for p in self._plans.values())
+
+    @property
+    def timeline_misses(self) -> int:
+        """Replays that computed a timeline across all cached plans."""
+        return sum(p.timeline_misses for p in self._plans.values())
+
     def stats(self) -> dict:
         return {
             "plans": len(self._plans),
@@ -166,4 +176,6 @@ class PlanCache:
             "misses": self.misses,
             "build_host_s": self.build_host_s,
             "gm_bytes": self.gm_bytes,
+            "timeline_hits": self.timeline_hits,
+            "timeline_misses": self.timeline_misses,
         }

@@ -171,6 +171,7 @@ class ScanService:
         )
         for i, req in enumerate(group.requests):
             xp[i, : req.n] = req.x
+        hits_before = plan.timeline_hits
         result = plan.execute(xp)
         per_launch_n = sum(req.n for req in group.requests)
         io = per_launch_n * plan._io_bytes_per_element()
@@ -182,6 +183,7 @@ class ScanService:
                 io_bytes=io,
                 requests=len(group.requests),
                 plan_hit=hit,
+                timeline_hit=plan.timeline_hits > hits_before,
             )
         )
         tickets = []
@@ -208,6 +210,7 @@ class ScanService:
                 req.algorithm, req.n, req.x.dtype, s=req.s,
                 exclusive=req.exclusive,
             )
+            hits_before = plan.timeline_hits
             result = plan.execute(req.x)
             self.stats.record_launch(
                 LaunchRecord(
@@ -217,6 +220,7 @@ class ScanService:
                     io_bytes=result.io_bytes,
                     requests=1,
                     plan_hit=hit,
+                    timeline_hit=plan.timeline_hits > hits_before,
                 )
             )
             ticket = self._tickets.pop(req.req_id)
@@ -237,6 +241,8 @@ class ScanService:
             f"{cache['hits']} hits / {cache['misses']} misses, "
             f"{cache['build_host_s'] * 1e3:.1f} ms build time, "
             f"{cache['gm_bytes'] / 1e6:.1f} MB GM pinned",
+            f"timeline cache  : {cache['timeline_hits']} hits / "
+            f"{cache['timeline_misses']} misses (memoized replays)",
             self.stats.summary(),
         ]
         return "\n".join(lines)

@@ -23,6 +23,8 @@ class LaunchRecord:
     io_bytes: int
     requests: int
     plan_hit: bool
+    #: True when the launch replayed a memoized timeline (no scheduling)
+    timeline_hit: bool = False
 
 
 def _percentile(sorted_vals: "list[float]", q: float) -> float:
@@ -97,13 +99,24 @@ class ServiceStats:
             return 0.0
         return sum(1 for r in self.launches if r.plan_hit) / len(self.launches)
 
+    @property
+    def timeline_hit_rate(self) -> float:
+        """Fraction of launches served from a memoized timeline (every
+        launch after a plan's first is a hit once replay caching is on)."""
+        if not self.launches:
+            return 0.0
+        return sum(1 for r in self.launches if r.timeline_hit) / len(
+            self.launches
+        )
+
     def summary(self) -> str:
         lat = sorted(self.host_latencies_s)
         lines = [
             f"requests        : {self.requests} "
             f"({self.coalesced_requests} coalesced into batched launches)",
             f"launches        : {self.launch_count} "
-            f"(plan hit rate {self.plan_hit_rate:.0%})",
+            f"(plan hit rate {self.plan_hit_rate:.0%}, "
+            f"timeline hit rate {self.timeline_hit_rate:.0%})",
             f"host latency    : mean {self.mean_host_latency_s * 1e3:.2f} ms, "
             f"p50 {_percentile(lat, 0.50) * 1e3:.2f} ms, "
             f"p99 {_percentile(lat, 0.99) * 1e3:.2f} ms",

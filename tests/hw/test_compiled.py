@@ -1,0 +1,270 @@
+"""Compiled replay engine: differential ns-identity vs the reference DES,
+timeline memoization semantics, and the ``audit_timing`` escape hatch.
+
+The contract under test is exact: for every kernel in the suite the
+compiled engine must produce a :class:`Timeline` whose every float is
+*bit-identical* to ``simulate``'s (``==``, never ``approx``) — that is
+what makes serving a memoized timeline indistinguishable from
+rescheduling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import BATCHED_ALGORITHMS, SCAN_ALGORITHMS, ScanContext
+from repro.core.strategies import (
+    LookbackScanKernel,
+    RSSScanKernel,
+    SSAScanKernel,
+)
+from repro.errors import DeadlockError, SchedulerError, TimingAuditError
+from repro.hw.compiled import CompiledProgram, assert_timelines_equal
+from repro.hw.config import toy_config
+from repro.hw.datatypes import as_dtype, cube_accum_dtype
+from repro.hw.device import AscendDevice, TracedKernel
+from repro.hw.isa import Op
+from repro.hw.scheduler import Program, Timeline, simulate
+
+# -- differential suite over every kernel ---------------------------------
+
+N1D = 1 << 17  # 8 tiles of s=128: multi-core paths are exercised
+S = 128
+
+
+def _strategy_program(ctx, kernel_cls, name):
+    """Trace one multi-core strategy kernel (the one-shot API frees its
+    tensors, so mirror its setup against the context's device)."""
+    dev = ctx.device
+    dt = as_dtype("fp16")
+    out_dt = cube_accum_dtype(dt)
+    consts = ctx.constants(S, dt)
+    x_gm = dev.alloc(f"{name}_x", (N1D,), dt)
+    x_gm.write(np.ones(N1D, dtype=np.float16))
+    y_gm = dev.alloc(f"{name}_y", (N1D,), out_dt)
+    n_tiles = N1D // (S * S)
+    bd = max(1, min(ctx.config.num_ai_cores, n_tiles))
+    lanes = bd * ctx.config.vector_cores_per_ai_core
+    r_gm = dev.alloc(f"{name}_r", (lanes,), out_dt)
+    return dev.trace_kernel(kernel_cls(x_gm, y_gm, r_gm, consts, S, bd)).program
+
+
+def _suite_programs():
+    ctx = ScanContext()
+    programs = {}
+    for algo in SCAN_ALGORITHMS:
+        plan = ctx.build_plan(algorithm=algo, n=N1D, dtype="fp16", validate=False)
+        programs[f"plan-{algo}"] = (plan.traced.program, ctx.config)
+    plan = ctx.build_plan(algorithm="scanu", n=N1D, dtype="int8", validate=False)
+    programs["plan-scanu-int8"] = (plan.traced.program, ctx.config)
+    for algo in BATCHED_ALGORITHMS:
+        bp = ctx.build_batched_plan(
+            algorithm=algo, batch=4, row_len=4096, validate=False
+        )
+        programs[f"batched-{algo}"] = (bp.traced.program, ctx.config)
+    for name, cls in (
+        ("ssa", SSAScanKernel),
+        ("rss", RSSScanKernel),
+        ("lookback", LookbackScanKernel),
+    ):
+        programs[f"strategy-{name}"] = (
+            _strategy_program(ctx, cls, name),
+            ctx.config,
+        )
+    return programs
+
+
+_PROGRAMS = _suite_programs()
+
+
+@pytest.mark.parametrize("name", sorted(_PROGRAMS))
+def test_compiled_matches_reference_bitwise(name):
+    program, config = _PROGRAMS[name]
+    reference = simulate(program, config)
+    compiled = CompiledProgram(program, config)
+    for _ in range(2):  # a second run reuses the memoized rate cache
+        got = compiled.run()
+        assert got.start_ns == reference.start_ns
+        assert got.finish_ns == reference.finish_ns
+        assert got.total_ns == reference.total_ns
+
+
+# -- synthetic edge cases (toy config) ------------------------------------
+
+CFG = toy_config()
+
+
+def make_op(op_id, engine, cycles=0.0, deps=(), gm_bytes=0, eff_bytes=None,
+            latency_ns=0.0, kind="vec"):
+    return Op(
+        op_id=op_id, engine=engine, kind=kind, label=f"op{op_id}",
+        deps=tuple(deps), cycles=cycles, gm_bytes=gm_bytes,
+        eff_bytes=float(gm_bytes) if eff_bytes is None else eff_bytes,
+        latency_ns=latency_ns,
+    )
+
+
+def both_engines(p, config=CFG):
+    """(reference, compiled) timelines, asserted bit-identical."""
+    ref = simulate(p, config)
+    got = CompiledProgram(p, config).run()
+    assert_timelines_equal(got, ref)
+    return ref
+
+
+class TestEdgeCases:
+    def test_empty_program(self):
+        t = CompiledProgram(Program(1), CFG).run()
+        assert t.total_ns == 0.0
+        assert t.start_ns == []
+
+    def test_zero_byte_flow_completes_at_latency(self):
+        # a flow whose effective bytes are below the drain epsilon never
+        # enters the draining set: it completes when its latency elapses
+        p = Program(1)
+        p.add(make_op(0, 0, gm_bytes=4, eff_bytes=1e-9, latency_ns=50.0))
+        t = both_engines(p)
+        assert t.finish_ns[0] == pytest.approx(50.0)
+
+    def test_barrier_only_program(self):
+        p = Program(1)
+        p.add(make_op(0, 0, cycles=10, kind="barrier"))
+        p.set_fence(0)
+        p.add(make_op(1, 0, cycles=10, kind="barrier"))
+        both_engines(p)
+
+    def test_duplicate_deps(self):
+        p = Program(2)
+        p.add(make_op(0, 0, cycles=10))
+        p.add(make_op(1, 1, cycles=10, deps=(0, 0, 0)))
+        assert p.deps_of(1) == (0,)
+        t = both_engines(p)
+        assert t.start_ns[1] == pytest.approx(t.finish_ns[0])
+
+    def test_concurrent_flows_contend(self):
+        # enough simultaneous flows to exceed the vectorized-drain
+        # threshold: exercises the numpy path and the per-k rate cache
+        n_engines = 24
+        p = Program(n_engines)
+        for e in range(n_engines):
+            p.add(make_op(e, e, gm_bytes=4096 * (e + 1), latency_ns=10.0))
+        t = both_engines(p)
+        assert t.total_ns > 0.0
+
+    def test_mixed_flows_and_fixed_ops(self):
+        p = Program(3)
+        p.add(make_op(0, 0, gm_bytes=65536, latency_ns=20.0))
+        p.add(make_op(1, 1, cycles=100))
+        p.add(make_op(2, 2, gm_bytes=32768, latency_ns=5.0, deps=(1,)))
+        p.add(make_op(3, 1, cycles=10, deps=(0, 2)))
+        both_engines(p)
+
+    def test_deadlock_detected(self):
+        p = Program(1)
+        p.add(make_op(0, 0, cycles=10))
+        p.add(make_op(1, 0, cycles=10))
+        p.op_deps[1] = (2,)  # forward dep injected post-validation
+        p.add(make_op(2, 0, cycles=10))
+        with pytest.raises(DeadlockError):
+            CompiledProgram(p, CFG).run()
+
+    def test_negative_duration_rejected_at_compile(self):
+        p = Program(1)
+        p.add(make_op(0, 0, cycles=-5))
+        with pytest.raises(SchedulerError):
+            CompiledProgram(p, CFG)
+
+
+# -- timeline memoization on replay ---------------------------------------
+
+
+def _traced(cycles=(10, 20, 30)):
+    p = Program(1)
+    for i, c in enumerate(cycles):
+        p.add(make_op(i, 0, cycles=c))
+    return TracedKernel(program=p, label="synthetic")
+
+
+class TestMemoization:
+    def test_cached_replay_hits_after_first(self):
+        dev = AscendDevice(toy_config())
+        tk = _traced()
+        t1 = dev.replay(tk)
+        assert (tk.timeline_misses, tk.timeline_hits) == (1, 0)
+        t2 = dev.replay(tk)
+        assert (tk.timeline_misses, tk.timeline_hits) == (1, 1)
+        # the very same Timeline object is served, not a recomputation
+        assert t2.timeline is t1.timeline
+
+    def test_des_engine_bypasses_cache(self):
+        dev = AscendDevice(toy_config())
+        tk = _traced()
+        dev.replay(tk, engine="des")
+        assert (tk.timeline_misses, tk.timeline_hits) == (0, 0)
+        assert tk._timeline is None
+
+    def test_compiled_engine_recomputes(self):
+        dev = AscendDevice(toy_config())
+        tk = _traced()
+        dev.replay(tk, engine="compiled")
+        dev.replay(tk, engine="compiled")
+        assert (tk.timeline_misses, tk.timeline_hits) == (2, 0)
+
+    def test_engines_agree(self):
+        dev = AscendDevice(toy_config())
+        tk = _traced()
+        des = dev.replay(tk, engine="des").timeline
+        compiled = dev.replay(tk, engine="compiled").timeline
+        cached = dev.replay(tk, engine="cached").timeline
+        assert_timelines_equal(compiled, des)
+        assert_timelines_equal(cached, des)
+
+    def test_unknown_engine_rejected(self):
+        dev = AscendDevice(toy_config())
+        with pytest.raises(SchedulerError):
+            dev.replay(_traced(), engine="warp")
+
+    def test_config_change_invalidates(self):
+        dev1 = AscendDevice(toy_config())
+        dev2 = AscendDevice(toy_config())  # equal but distinct config object
+        tk = _traced()
+        dev1.replay(tk)
+        dev2.replay(tk)
+        assert (tk.timeline_misses, tk.timeline_hits) == (2, 0)
+        dev2.replay(tk)
+        assert (tk.timeline_misses, tk.timeline_hits) == (2, 1)
+
+
+class TestAuditTiming:
+    def test_audit_passes_on_honest_cache(self):
+        dev = AscendDevice(toy_config())
+        tk = _traced()
+        dev.replay(tk, audit_timing=True)
+        dev.replay(tk, audit_timing=True)  # also audits the cache-hit path
+
+    def test_device_default_audit(self):
+        dev = AscendDevice(toy_config(), audit_timing=True)
+        tk = _traced()
+        dev.replay(tk)
+        dev.replay(tk, audit_timing=False)  # per-call override wins
+
+    def test_audit_detects_tampered_timeline(self):
+        dev = AscendDevice(toy_config())
+        tk = _traced()
+        dev.replay(tk)  # populate the cache
+        honest = tk._timeline
+        tk._timeline = Timeline(
+            list(honest.start_ns),
+            [f + 1.0 for f in honest.finish_ns],
+            honest.total_ns + 1.0,
+        )
+        dev.replay(tk)  # unaudited replay trusts the cache
+        with pytest.raises(TimingAuditError):
+            dev.replay(tk, audit_timing=True)
+
+    def test_audit_detects_op_count_mismatch(self):
+        dev = AscendDevice(toy_config())
+        tk = _traced()
+        dev.replay(tk)
+        tk._timeline = Timeline([0.0], [1.0], 1.0)
+        with pytest.raises(TimingAuditError):
+            dev.replay(tk, audit_timing=True)

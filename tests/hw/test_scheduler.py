@@ -139,7 +139,54 @@ class TestBarriers:
         p.add(make_op(0, 0, cycles=10))
         # craft a cycle: op1 depends on op2 which is behind it on the queue
         p.add(make_op(1, 0, cycles=10))
-        p.ops[1].deps = (2,)  # forward dep injected post-validation
+        p.op_deps[1] = (2,)  # forward dep injected post-validation
         p.add(make_op(2, 0, cycles=10))
         with pytest.raises(DeadlockError):
             simulate(p, CFG)
+
+
+class TestProgramDeps:
+    """Dependency bookkeeping lives on the program, not the Op records."""
+
+    def test_add_does_not_mutate_op_deps(self):
+        p = Program(2)
+        p.add(make_op(0, 0, cycles=10))
+        barrier = make_op(1, 1, cycles=0, deps=p.barrier_deps(), kind="barrier")
+        p.add(barrier)
+        p.set_fence(1)
+        op = make_op(2, 0, cycles=10)
+        p.add(op)
+        assert op.deps == ()  # the fence edge is program-side only
+        assert p.deps_of(2) == (1,)
+
+    def test_readding_op_to_second_program_is_clean(self):
+        # an Op traced once can be added to a second program without
+        # accumulating the first program's fence edges
+        op = make_op(2, 0, cycles=10)
+        for _ in range(2):
+            p = Program(2)
+            p.add(make_op(0, 0, cycles=10))
+            barrier = make_op(
+                1, 1, cycles=0, deps=p.barrier_deps(), kind="barrier"
+            )
+            p.add(barrier)
+            p.set_fence(1)
+            p.add(op)
+            assert p.deps_of(2) == (1,)
+        assert op.deps == ()
+
+    def test_deps_deduped_at_add_time(self):
+        p = Program(2)
+        p.add(make_op(0, 0, cycles=10))
+        p.add(make_op(1, 1, cycles=10, deps=(0, 0, 0)))
+        assert p.deps_of(1) == (0,)
+        t = simulate(p, CFG)
+        assert t.start_ns[1] == pytest.approx(t.finish_ns[0])
+
+    def test_fence_not_duplicated_when_already_explicit(self):
+        p = Program(2)
+        barrier = make_op(0, 1, cycles=0, kind="barrier")
+        p.add(barrier)
+        p.set_fence(0)
+        p.add(make_op(1, 0, cycles=10, deps=(0,)))
+        assert p.deps_of(1) == (0,)

@@ -119,3 +119,28 @@ def test_exclusive_plan(cache):
     plan = cache.get_1d("mcscan", 64, "fp16", s=32, exclusive=True)
     res = plan.execute(np.ones(64, dtype=np.float16))
     assert np.array_equal(res.values, np.arange(0, 64, dtype=np.float32))
+
+
+def test_timeline_counters_aggregate(cache):
+    a = cache.get_1d("scanu", 900, "fp16", s=32)
+    b = cache.get_1d("vector", 900, "fp16")
+    for _ in range(3):
+        a.execute(np.ones(900, dtype=np.float16))
+    b.execute(np.ones(900, dtype=np.float16))
+    assert (a.timeline_misses, a.timeline_hits) == (1, 2)
+    assert (b.timeline_misses, b.timeline_hits) == (1, 0)
+    stats = cache.stats()
+    assert stats["timeline_misses"] == 2
+    assert stats["timeline_hits"] == 2
+
+
+def test_plan_execute_des_engine_and_audit(cache):
+    plan = cache.get_1d("scanu", 900, "fp16", s=32)
+    x = np.ones(900, dtype=np.float16)
+    cached = plan.execute(x, audit_timing=True)
+    des = plan.execute(x, engine="des", audit_timing=True)
+    assert des.trace.total_ns == cached.trace.total_ns
+    # the des path never touches the memoization counters
+    assert (plan.timeline_misses, plan.timeline_hits) == (1, 0)
+    plan.execute(x)
+    assert (plan.timeline_misses, plan.timeline_hits) == (1, 1)

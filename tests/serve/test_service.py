@@ -179,3 +179,20 @@ def test_batcher_drain_clears_queue(service):
     service.flush()
     assert len(batcher) == 0
     assert batcher.drained == 1
+
+
+def test_timeline_hit_stats(service):
+    # first flush computes the batched plan's timeline; subsequent
+    # flushes of the same shape class replay the memoized one
+    for round_ in range(3):
+        for i in range(4):
+            service.submit(_x(700, i + round_), algorithm="scanu", s=32)
+        service.flush()
+    launches = service.stats.launches
+    assert [r.timeline_hit for r in launches] == [False, True, True]
+    assert service.stats.timeline_hit_rate == pytest.approx(2 / 3)
+    cache_stats = service.cache.stats()
+    assert cache_stats["timeline_misses"] == 1
+    assert cache_stats["timeline_hits"] == 2
+    assert "timeline cache" in service.summary()
+    assert "timeline hit rate" in service.stats.summary()
