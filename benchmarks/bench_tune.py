@@ -1,0 +1,108 @@
+"""Autotuner: simulator-guided search vs the serve-layer defaults.
+
+Asserts the tuner's contract on a sweep of workload shapes:
+
+* the tuned configuration is **never slower** than the service default
+  (``scanu``, ``s=128``) on any swept shape — guaranteed by construction,
+  since the default is a member of the search space and is evaluated
+  first — and **strictly faster on at least one** (in practice: all of
+  them; MCScan-family configs win large 1-D shapes by an order of
+  magnitude);
+* the roofline floors actually prune (no shape traces its whole
+  candidate space), and pruning never discards the eventual winner —
+  cross-checked by the win itself;
+* the store round-trips through JSON with a matching device fingerprint
+  and serves its entries back through :class:`ScanService`, whose stats
+  report the tuned hits.
+
+``results/BENCH_tune.json`` is the committed evidence: per-shape default
+vs tuned device time, the winning config, and the search statistics.
+"""
+
+import numpy as np
+from bench_util import write_bench_json
+
+from repro.core.api import ScanContext
+from repro.serve.service import ScanService
+from repro.tune import TuneStore, WorkloadKey, format_result, tune_workload
+
+#: the swept shapes: small / medium / large 1-D plus one batched workload
+WORKLOADS = (
+    WorkloadKey("1d", 4096, "fp16"),
+    WorkloadKey("1d", 65536, "fp16"),
+    WorkloadKey("1d", 1 << 20, "fp16"),
+    WorkloadKey("batched", 8192, "fp16", batch=8),
+)
+
+
+def _run_sweep():
+    ctx = ScanContext()
+    store = TuneStore(ctx.config)
+    results = [tune_workload(ctx, w, store=store) for w in WORKLOADS]
+    return ctx, store, results
+
+
+def test_tuner_beats_defaults(benchmark, results_dir, tmp_path):
+    ctx, store, results = benchmark.pedantic(
+        _run_sweep, iterations=1, rounds=1
+    )
+    report = []
+    for result in results:
+        print()
+        print(format_result(result))
+        report.append(
+            {
+                "workload": result.workload.store_key,
+                "default": "scanu(s=128)"
+                if not result.workload.exclusive
+                else "mcscan(s=128)",
+                "default_ns": result.default_ns,
+                "tuned": result.best.describe(),
+                "tuned_ns": result.best_ns,
+                "speedup": result.speedup,
+                "candidates": len(result.outcomes),
+                "evaluated": result.evaluated,
+                "pruned": result.pruned,
+            }
+        )
+
+    # the tuner's contract: never slower anywhere, strictly faster somewhere
+    assert all(r.best_ns <= r.default_ns for r in results)
+    assert any(r.best_ns < r.default_ns for r in results)
+    # the roofline floors must actually bite on every shape
+    assert all(r.pruned > 0 for r in results)
+
+    # persistence: save -> load -> identical entries, valid fingerprint
+    path = store.save(str(tmp_path / "tuned_plans.json"))
+    loaded = TuneStore.load(path, ctx.config)
+    assert not loaded.invalidated
+    assert loaded.entries == store.entries
+
+    # serving: the store's configs reach the service and its stats say so
+    svc = ScanService(ctx, tune_store=loaded)
+    tuned_ns = {}
+    default_ns = {}
+    for w in WORKLOADS:
+        if w.kind != "1d":
+            continue
+        x = np.ones(w.n, dtype=np.float16)
+        tuned_ns[w.n] = svc.scan(x).device_ns
+        default_ns[w.n] = svc.scan(x, algorithm="scanu", s=128).device_ns
+    assert svc.stats.tuned_launches == len(tuned_ns)
+    assert svc.stats.tuned_hit_rate > 0
+    assert all(tuned_ns[n] <= default_ns[n] for n in tuned_ns)
+
+    payload = {
+        "workloads": report,
+        "served": [
+            {
+                "n": n,
+                "tuned_device_ns": tuned_ns[n],
+                "default_device_ns": default_ns[n],
+            }
+            for n in sorted(tuned_ns)
+        ],
+        "store_entries": len(loaded),
+        "fingerprint": loaded.fingerprint,
+    }
+    write_bench_json(results_dir, "tune", payload)

@@ -10,6 +10,9 @@ Subcommands:
 * ``serve-bench`` — measure the plan-cached serving layer (cache-hit
   latency vs trace-every-call, batched-submission throughput, and the
   DES / compiled / memoized replay-engine comparison);
+* ``tune`` — sweep plan configurations per workload shape on the
+  simulator and write the persistent tuned-plan store that the serving
+  layer consults (``--smoke`` runs the CI self-check);
 * ``sort`` / ``compress`` / ``topp`` — run one operator comparison.
 
 Examples::
@@ -18,6 +21,7 @@ Examples::
     python -m repro scan --algorithm mcscan -n 1048576 --timeline
     python -m repro experiment fig08
     python -m repro experiment all --out EXPERIMENTS_RESULTS.md --markdown
+    python -m repro tune --shapes 64K,1M --batched 8x8K --store tuned_plans.json
     python -m repro sort -n 1048576
 """
 
@@ -135,6 +139,112 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def _tune_smoke(ctx: ScanContext) -> int:
+    """CI self-check: tune one small shape, then prove the three claims
+    the tuner makes — the store round-trips through JSON, the service
+    serves tuned plans (and says so in its stats), and the tuned config
+    is never slower than the default on the tuned shape."""
+    import os
+    import tempfile
+
+    from .serve.service import ScanService
+    from .tune import TuneStore, WorkloadKey, tune_workload
+
+    n = 16384
+    failures = []
+
+    def check(cond: bool, msg: str) -> None:
+        print(f"{'PASS' if cond else 'FAIL'}  {msg}")
+        if not cond:
+            failures.append(msg)
+
+    store = TuneStore(ctx.config)
+    result = tune_workload(ctx, WorkloadKey("1d", n, "fp16"), store=store)
+    check(
+        result.best_ns <= result.default_ns,
+        f"tuned {result.best.describe()} ({result.best_ns / 1e3:.2f} us) "
+        f"<= default ({result.default_ns / 1e3:.2f} us)",
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "tuned_plans.json")
+        store.save(path)
+        loaded = TuneStore.load(path, ctx.config)
+        entry = loaded.lookup_1d(n=n, dtype="fp16")
+        check(
+            not loaded.invalidated
+            and entry is not None
+            and (entry.algorithm, entry.s, entry.block_dim)
+            == (result.best.algorithm, result.best.s, result.best.block_dim),
+            "store round-trips through JSON with a matching fingerprint",
+        )
+
+    svc = ScanService(ctx, tune_store=store)
+    x = np.ones(n, dtype=np.float16)
+    tuned_ticket = svc.scan(x)
+    default_ticket = svc.scan(x, algorithm="scanu", s=128)
+    check(
+        tuned_ticket.tuned and svc.stats.tuned_launches >= 1,
+        "service served a tuned plan (stats report tuned hits)",
+    )
+    check(
+        tuned_ticket.device_ns <= default_ticket.device_ns,
+        f"served tuned device time ({tuned_ticket.device_ns / 1e3:.2f} us) "
+        f"<= default ({default_ticket.device_ns / 1e3:.2f} us)",
+    )
+    check(
+        np.array_equal(
+            tuned_ticket.result(), np.arange(1, n + 1, dtype=np.float64)
+        ),
+        "tuned plan result matches the reference scan",
+    )
+    if failures:
+        print(f"\ntune smoke: {len(failures)} check(s) failed")
+        return 1
+    print("\ntune smoke: all checks passed")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .tune import TuneStore, WorkloadKey, format_result, tune_workload
+
+    ctx = ScanContext()
+    if args.smoke:
+        return _tune_smoke(ctx)
+    store = TuneStore.load(args.store, ctx.config)
+    if store.invalidated:
+        print(
+            f"note: discarding {args.store} "
+            f"(older schema or foreign device config)"
+        )
+    workloads = []
+    for text in args.shapes.split(","):
+        if text.strip():
+            workloads.append(
+                WorkloadKey(
+                    "1d", _parse_size(text), args.dtype, exclusive=args.exclusive
+                )
+            )
+    for text in args.batched.split(","):
+        if text.strip():
+            rows, _, row_len = text.strip().upper().partition("X")
+            workloads.append(
+                WorkloadKey(
+                    "batched", _parse_size(row_len), args.dtype, batch=int(rows)
+                )
+            )
+    if not workloads:
+        print("nothing to tune: pass --shapes and/or --batched")
+        return 1
+    say = print if args.verbose else None
+    for workload in workloads:
+        result = tune_workload(ctx, workload, store=store, log=say)
+        print(format_result(result))
+    path = store.save(args.store)
+    print(f"wrote {len(store)} tuned entr{'y' if len(store) == 1 else 'ies'} to {path}")
+    return 0
+
+
 def cmd_sort(args) -> int:
     n = _parse_size(args.n)
     rng = np.random.default_rng(args.seed)
@@ -229,6 +339,25 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--out", help="also write the report to a file")
     pv.add_argument("--json", help="also write a machine-readable JSON report")
     pv.set_defaults(fn=cmd_serve_bench)
+
+    pu = sub.add_parser(
+        "tune", help="autotune plan configs into a persistent store"
+    )
+    pu.add_argument("--store", default="tuned_plans.json",
+                    help="path of the tuned-plan store (JSON)")
+    pu.add_argument("--shapes", default="64K,1M",
+                    help="comma-separated 1-D lengths to tune (K/M/G)")
+    pu.add_argument("--batched", default="",
+                    help="comma-separated BxL batched shapes, e.g. 8x8K,64x1K")
+    pu.add_argument("--dtype", default="fp16", choices=("fp16", "int8"))
+    pu.add_argument("--exclusive", action="store_true",
+                    help="tune exclusive scans (MCScan only)")
+    pu.add_argument("--verbose", action="store_true",
+                    help="print every traced candidate")
+    pu.add_argument("--smoke", action="store_true",
+                    help="CI self-check: tune one small shape, assert store "
+                    "round-trip and tuned <= default")
+    pu.set_defaults(fn=cmd_tune)
 
     po = sub.add_parser("sort", help="radix sort vs torch.sort")
     po.add_argument("-n", default="1M")

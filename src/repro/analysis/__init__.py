@@ -8,7 +8,14 @@ from .bandwidth import (
     scan_peak_fraction_bound,
     traffic_breakdown,
 )
-from .roofline import RooflinePoint, machine_balance_flops_per_byte, roofline_point
+from .roofline import (
+    RooflinePoint,
+    cube_issue_floor_ns,
+    link_floor_ns,
+    machine_balance_flops_per_byte,
+    memory_floor_ns,
+    roofline_point,
+)
 from .workdepth import (
     AlgorithmCosts,
     mcscan_costs,
@@ -21,6 +28,9 @@ __all__ = [
     "AlgorithmCosts",
     "RooflinePoint",
     "TrafficBreakdown",
+    "cube_issue_floor_ns",
+    "link_floor_ns",
+    "memory_floor_ns",
     "gelems_per_s",
     "io_bandwidth_gbps",
     "machine_balance_flops_per_byte",

@@ -14,7 +14,14 @@ from dataclasses import dataclass
 from ..hw.config import DeviceConfig
 from ..hw.trace import Trace
 
-__all__ = ["RooflinePoint", "roofline_point", "machine_balance_flops_per_byte"]
+__all__ = [
+    "RooflinePoint",
+    "roofline_point",
+    "machine_balance_flops_per_byte",
+    "memory_floor_ns",
+    "link_floor_ns",
+    "cube_issue_floor_ns",
+]
 
 
 def _peak_mac_per_ns(config: DeviceConfig) -> float:
@@ -47,6 +54,38 @@ class RooflinePoint:
         if self.attainable_flops_per_ns <= 0:
             return 0.0
         return self.achieved_flops_per_ns / self.attainable_flops_per_ns
+
+
+def memory_floor_ns(config: DeviceConfig, gm_bytes: float) -> float:
+    """Lower bound on device time for moving ``gm_bytes`` of GM traffic.
+
+    Uses the *fastest* path any byte can take (the L2 link, which the
+    config guarantees is at least as wide as HBM), so the bound is safe
+    regardless of residency — the roofline's memory roof inverted into a
+    time floor.  The autotuner (:mod:`repro.tune`) prunes candidate plan
+    configs whose floor already exceeds the incumbent's measured time.
+    """
+    return gm_bytes / config.l2_bytes_per_ns
+
+
+def link_floor_ns(config: DeviceConfig, gm_bytes: float, lanes: int) -> float:
+    """Lower bound from the per-MTE GM link width: ``gm_bytes`` spread
+    perfectly over ``lanes`` concurrent DMA flows can't beat the aggregate
+    link bandwidth.  For a ``block_dim``-core cube kernel, every input byte
+    crosses one of ``block_dim`` load links."""
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    return gm_bytes / (lanes * config.mte_link_bytes_per_ns)
+
+
+def cube_issue_floor_ns(config: DeviceConfig, mmads_per_core: float) -> float:
+    """Lower bound from Mmad issue cost: a core's cube engine serialises
+    its matmuls, each paying at least ``mmad_issue_cycles``.  With
+    ``mmads_per_core`` matmuls on the busiest cube core, no schedule can
+    finish sooner.  This is the floor that prices *tiling* into the
+    roofline: small tile sizes mean many matmuls per core, so trace-heavy
+    candidates are pruned without ever being traced."""
+    return config.cycles_to_ns(mmads_per_core * config.costs.mmad_issue_cycles)
 
 
 def roofline_point(trace: Trace, flops: float) -> RooflinePoint:

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import KernelError, ShapeError
+from ..errors import ConfigError, KernelError, ShapeError
 from ..hw.config import ASCEND_910B4, DeviceConfig
 from ..hw.datatypes import DType, as_dtype, cube_accum_dtype
 from ..hw.device import AscendDevice, TracedKernel
@@ -62,12 +62,20 @@ __all__ = [
     "SCAN_ALGORITHMS",
     "BATCHED_ALGORITHMS",
     "SCAN_STRATEGIES",
+    "PLAN_1D_ALGORITHMS",
 ]
 
 SCAN_ALGORITHMS = ("scanu", "scanul1", "mcscan", "vector")
 BATCHED_ALGORITHMS = ("scanu", "scanul1", "vector")
 #: multi-core strategy variants (paper Section 2.1) for the strategy ablation
 SCAN_STRATEGIES = ("mcscan", "ssa", "rss", "lookback")
+#: everything a 1-D plan can be built for: the paper's algorithms plus the
+#: competitor strategies (all compute the same inclusive scan, so they share
+#: the functional replay path) — the autotuner searches this whole set
+PLAN_1D_ALGORITHMS = SCAN_ALGORITHMS + ("ssa", "rss", "lookback")
+
+#: multi-core 1-D kernels that take a block_dim and an ``r`` array
+_MULTI_CORE_1D = ("mcscan", "ssa", "rss", "lookback")
 
 
 @dataclass
@@ -106,10 +114,10 @@ class ScanPlan:
 
     Device tensors, constant uploads and the emitted op DAG persist across
     executions; :meth:`execute` re-runs only the canonical functional
-    computation (:mod:`repro.core.replay`) and the scheduler.  Plans hold
-    their GM tensors for the lifetime of the owning :class:`ScanContext`
-    (the bump allocator has no per-plan free), so build plans for the
-    working set of shapes you intend to serve, not per request.
+    computation (:mod:`repro.core.replay`) and the scheduler.  Plans own
+    their GM tensors; :meth:`release` frees them back to the device
+    allocator (used by the serve layer's bounded plan cache), after which
+    the plan can no longer execute.
     """
 
     ctx: "ScanContext"
@@ -135,10 +143,35 @@ class ScanPlan:
     #: max |kernel - functional| observed at build time (float64 scale)
     build_max_err: float
     executions: int = field(default=0)
+    #: GM tensors this plan owns (inputs, outputs, scratch — not the shared
+    #: constant matrices); freed back to the device by :meth:`release`
+    gm_tensors: "tuple[GlobalTensor, ...]" = field(default=())
+    #: True if the plan's config came from a tuned-plan store entry
+    tuned: bool = field(default=False)
+    released: bool = field(default=False)
 
     @property
     def is_batched(self) -> bool:
         return self.batch is not None
+
+    @property
+    def gm_bytes(self) -> int:
+        """Device-memory footprint of the tensors this plan owns."""
+        tensors = self.gm_tensors if self.gm_tensors else (self.x_gm, self.y_gm)
+        return sum(t.nbytes for t in tensors)
+
+    def release(self) -> int:
+        """Free the plan's GM tensors; returns the bytes returned to the
+        allocator's hole list.  The plan becomes permanently
+        non-executable — the serve layer's plan cache calls this when it
+        evicts a plan to stay inside its GM budget."""
+        if self.released:
+            return 0
+        freed = 0
+        for t in self.gm_tensors if self.gm_tensors else (self.x_gm, self.y_gm):
+            freed += self.ctx.device.memory.free(t)
+        self.released = True
+        return freed
 
     @property
     def timeline_hits(self) -> int:
@@ -160,6 +193,7 @@ class ScanPlan:
             self.batch,
             self.s,
             self.exclusive,
+            self.block_dim,
         )
 
     # -- execution ----------------------------------------------------------
@@ -191,6 +225,11 @@ class ScanPlan:
         reference scheduler and ``audit_timing=True`` cross-checks the
         served timeline against it.
         """
+        if self.released:
+            raise KernelError(
+                f"plan for {self.algorithm} (padded={self.padded}) has been "
+                f"released; its device tensors are gone — build a new plan"
+            )
         x = np.asarray(x)
         if self.is_batched:
             return self._execute_batched(
@@ -283,6 +322,11 @@ class ScanContext:
         #: as the paper's repeated-measurement methodology produces
         self.warm_inputs = warm_inputs
         self._consts: dict[tuple[int, int, str], ScanConstants] = {}
+        #: optional tuned-plan store consulted by ``build_plan(tuned=True)``;
+        #: anything with ``lookup_1d`` / ``lookup_batched`` works (the real
+        #: one is :class:`repro.tune.TuneStore` — duck-typed to keep core
+        #: free of a tune dependency)
+        self.tune_store = None
 
     # -- constants cache ------------------------------------------------------
 
@@ -337,8 +381,18 @@ class ScanContext:
         return dt
 
     def _mcscan_block_dim(self, n_tiles: int, block_dim: "int | None") -> int:
+        limit = max(1, min(self.config.num_ai_cores, n_tiles))
         if block_dim is None:
-            return max(1, min(self.config.num_ai_cores, n_tiles))
+            return limit
+        if not isinstance(block_dim, int) or isinstance(block_dim, bool):
+            raise ConfigError(f"block_dim must be an int, got {block_dim!r}")
+        if block_dim < 1 or block_dim > limit:
+            raise ConfigError(
+                f"block_dim={block_dim} out of range [1, {limit}] "
+                f"({self.config.num_ai_cores} AI cores, {n_tiles} tiles): "
+                f"cores beyond the tile count would idle while still "
+                f"paying synchronisation"
+            )
         return block_dim
 
     def _cube_1d_kernel(
@@ -352,7 +406,11 @@ class ScanContext:
         exclusive: bool,
     ):
         """Build a 1-D cube-scan kernel (allocates the ``r`` array for the
-        multi-core variants from the device's current allocation scope)."""
+        multi-core variants from the device's current allocation scope).
+
+        ``algorithm`` covers the single-core variants, MCScan, and the
+        competitor strategies (``ssa``/``rss``/``lookback``) — the latter
+        three share MCScan's signature and block_dim validation."""
         if algorithm == "scanu":
             return ScanUKernel(x_gm, y_gm, consts, s)
         if algorithm == "scanul1":
@@ -361,7 +419,16 @@ class ScanContext:
         bd = self._mcscan_block_dim(n_tiles, block_dim)
         halves = bd * self.config.vector_cores_per_ai_core
         r_gm = self.device.alloc("scan_r", (halves,), y_gm.dtype)
-        return MCScanKernel(x_gm, y_gm, r_gm, consts, s, bd, exclusive=exclusive)
+        if algorithm == "mcscan":
+            return MCScanKernel(
+                x_gm, y_gm, r_gm, consts, s, bd, exclusive=exclusive
+            )
+        kernel_cls = {
+            "ssa": SSAScanKernel,
+            "rss": RSSScanKernel,
+            "lookback": LookbackScanKernel,
+        }[algorithm]
+        return kernel_cls(x_gm, y_gm, r_gm, consts, s, bd)
 
     # -- 1-D scans -----------------------------------------------------------------
 
@@ -451,11 +518,6 @@ class ScanContext:
             )
         if strategy == "mcscan":
             return self.scan(x, algorithm="mcscan", s=s, block_dim=block_dim)
-        kernel_cls = {
-            "ssa": SSAScanKernel,
-            "rss": RSSScanKernel,
-            "lookback": LookbackScanKernel,
-        }[strategy]
         n = x.size
         dt = self._input_dtype(x)
         out_dt = cube_accum_dtype(dt)
@@ -467,12 +529,9 @@ class ScanContext:
             y_gm = self.device.alloc("scan_y", (padded,), out_dt)
             if self.warm_inputs:
                 self.device.warm_l2(x_gm, y_gm)
-            n_tiles = padded // ell
-            if block_dim is None:
-                block_dim = max(1, min(self.config.num_ai_cores, n_tiles))
-            lanes = block_dim * self.config.vector_cores_per_ai_core
-            r_gm = self.device.alloc("scan_r", (lanes,), out_dt)
-            kernel = kernel_cls(x_gm, y_gm, r_gm, consts, s, block_dim)
+            kernel = self._cube_1d_kernel(
+                strategy, x_gm, y_gm, consts, s, block_dim, False
+            )
             trace = self.device.launch(kernel, label=f"{strategy}(s={s})")
             values = y_gm.to_numpy()[:n]
         finally:
@@ -592,6 +651,7 @@ class ScanContext:
         block_dim: "int | None" = None,
         exclusive: bool = False,
         validate: bool = True,
+        tuned: bool = False,
     ) -> ScanPlan:
         """Trace a reusable 1-D scan plan for inputs padding to
         ``padded_length(n, unit)`` elements of ``dtype``.
@@ -600,11 +660,27 @@ class ScanContext:
         kernel once (full Python-level emission), and cross-checks the
         kernel's functional output against the canonical computation the
         plan will use on execution (see :mod:`repro.core.replay`).
+
+        With ``tuned=True`` the context's :attr:`tune_store` (if set) is
+        consulted for this workload; a hit overrides ``algorithm``, ``s``
+        and ``block_dim`` with the tuned configuration and marks the plan
+        :attr:`~ScanPlan.tuned`.  On a miss the explicit arguments stand.
         """
         t0 = time.perf_counter()
-        if algorithm not in SCAN_ALGORITHMS:
+        was_tuned = False
+        if tuned and self.tune_store is not None:
+            entry = self.tune_store.lookup_1d(
+                n=n, dtype=self._as_plan_dtype(dtype).name, exclusive=exclusive
+            )
+            if entry is not None:
+                algorithm = entry.algorithm
+                s = entry.s
+                block_dim = entry.block_dim
+                was_tuned = True
+        if algorithm not in PLAN_1D_ALGORITHMS:
             raise KernelError(
-                f"unknown algorithm {algorithm!r}; pick one of {SCAN_ALGORITHMS}"
+                f"unknown algorithm {algorithm!r}; "
+                f"pick one of {PLAN_1D_ALGORITHMS}"
             )
         if exclusive and algorithm != "mcscan":
             raise KernelError(
@@ -614,23 +690,25 @@ class ScanContext:
 
         if algorithm == "vector":
             out_dt = dt
+            consts = None
             pad_unit = CUMSUM_COLS
-            padded = padded_length(n, pad_unit)
-            x_gm = self.device.alloc("plan_x", (padded,), dt)
-            y_gm = self.device.alloc("plan_y", (padded,), out_dt)
+        else:
+            out_dt = cube_accum_dtype(dt)
+            consts = self.constants(s, dt)  # shared, cached: not plan-owned
+            pad_unit = s * s
+        padded = padded_length(n, pad_unit)
+        owned_from = len(self.device.memory.tensors)
+        x_gm = self.device.alloc("plan_x", (padded,), dt)
+        y_gm = self.device.alloc("plan_y", (padded,), out_dt)
+        if algorithm == "vector":
             kernel = CumSumKernel(x_gm, y_gm)
             resolved_bd = None
         else:
-            out_dt = cube_accum_dtype(dt)
-            consts = self.constants(s, dt)
-            pad_unit = s * s
-            padded = padded_length(n, pad_unit)
-            x_gm = self.device.alloc("plan_x", (padded,), dt)
-            y_gm = self.device.alloc("plan_y", (padded,), out_dt)
             kernel = self._cube_1d_kernel(
                 algorithm, x_gm, y_gm, consts, s, block_dim, exclusive
             )
             resolved_bd = getattr(kernel, "block_dim", None)
+        gm_tensors = self.device.memory.tensors[owned_from:]
 
         sample = validation_input(padded, dt, seed=padded)
         x_gm.write(sample)
@@ -662,6 +740,8 @@ class ScanContext:
             build_host_s=0.0,
             validated=None,
             build_max_err=0.0,
+            gm_tensors=gm_tensors,
+            tuned=was_tuned,
         )
         return self._finish_plan(plan, sample, expected, t0)
 
@@ -675,6 +755,7 @@ class ScanContext:
         s: int = 128,
         block_dim: "int | None" = None,
         validate: bool = True,
+        tuned: bool = False,
     ) -> ScanPlan:
         """Trace a reusable batched (row-wise) scan plan holding ``batch``
         rows that pad to ``padded_length(row_len, tile)`` elements each.
@@ -682,8 +763,23 @@ class ScanContext:
         Executions may submit fewer rows (or shorter rows); the remainder
         is zero-padded, exactly as the request batcher in
         :mod:`repro.serve` does when it rounds batches up to bucket sizes.
+
+        With ``tuned=True`` the context's :attr:`tune_store` is consulted
+        (batched-layout entries only) as in :meth:`build_plan`.
         """
         t0 = time.perf_counter()
+        was_tuned = False
+        if tuned and self.tune_store is not None:
+            entry = self.tune_store.lookup_batched(
+                batch=batch,
+                row_len=row_len,
+                dtype=self._as_plan_dtype(dtype).name,
+            )
+            if entry is not None and getattr(entry, "layout", "batched") == "batched":
+                algorithm = entry.algorithm
+                s = entry.s
+                block_dim = entry.block_dim
+                was_tuned = True
         if algorithm not in BATCHED_ALGORITHMS:
             raise KernelError(
                 f"unknown batched algorithm {algorithm!r}; "
@@ -695,26 +791,28 @@ class ScanContext:
 
         if algorithm == "vector":
             out_dt = dt
+            consts = None
             pad_unit = CUMSUM_COLS
-            padded = padded_length(row_len, pad_unit)
-            x_gm = self.device.alloc("plan_bx", (batch, padded), dt)
-            y_gm = self.device.alloc("plan_by", (batch, padded), out_dt)
-            bd = min(self.config.num_vector_cores, batch)
-            kernel = BatchedCumSumKernel(x_gm, y_gm, bd)
         else:
             out_dt = cube_accum_dtype(dt)
             rows = batched_tile_rows(row_len, s)
             consts = self.constants(s, dt, rows=rows)
             pad_unit = consts.tile_elements
-            padded = padded_length(row_len, pad_unit)
-            x_gm = self.device.alloc("plan_bx", (batch, padded), dt)
-            y_gm = self.device.alloc("plan_by", (batch, padded), out_dt)
+        padded = padded_length(row_len, pad_unit)
+        owned_from = len(self.device.memory.tensors)
+        x_gm = self.device.alloc("plan_bx", (batch, padded), dt)
+        y_gm = self.device.alloc("plan_by", (batch, padded), out_dt)
+        if algorithm == "vector":
+            bd = min(self.config.num_vector_cores, batch)
+            kernel = BatchedCumSumKernel(x_gm, y_gm, bd)
+        else:
             bd = (
                 default_batched_block_dim(self.config, algorithm, batch)
                 if block_dim is None
                 else block_dim
             )
             kernel = batched_kernel_cls(algorithm)(x_gm, y_gm, consts, s, bd)
+        gm_tensors = self.device.memory.tensors[owned_from:]
 
         sample = validation_input(batch * padded, dt, seed=batch * padded).reshape(
             batch, padded
@@ -746,6 +844,8 @@ class ScanContext:
             build_host_s=0.0,
             validated=None,
             build_max_err=0.0,
+            gm_tensors=gm_tensors,
+            tuned=was_tuned,
         )
         return self._finish_plan(plan, sample, expected, t0)
 

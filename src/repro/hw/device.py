@@ -436,27 +436,8 @@ class AscendDevice:
         :class:`~repro.errors.TimingAuditError` unless the served timeline
         is ns-identical — the escape hatch for distrusting the cache.
         """
-        if engine not in ("cached", "compiled", "des"):
-            raise SchedulerError(f"unknown replay engine {engine!r}")
         audit = self.audit_timing if audit_timing is None else audit_timing
-
-        if engine == "des":
-            timeline = simulate(traced.program, self.config)
-        else:
-            if traced._timeline_config is not self.config:
-                traced.invalidate_timeline()
-                traced._timeline_config = self.config
-            if engine == "cached" and traced._timeline is not None:
-                timeline = traced._timeline
-                traced.timeline_hits += 1
-            else:
-                if traced._compiled is None:
-                    traced._compiled = CompiledProgram(
-                        traced.program, self.config
-                    )
-                timeline = traced._compiled.run()
-                traced._timeline = timeline
-                traced.timeline_misses += 1
+        timeline = self._timeline_for(traced, engine)
 
         if audit:
             reference = simulate(traced.program, self.config)
@@ -472,6 +453,42 @@ class AscendDevice:
             label=label or traced.label,
             launch_ns=self.config.costs.kernel_launch_ns,
             audit=traced.audit,
+        )
+
+    def _timeline_for(self, traced: TracedKernel, engine: str) -> Timeline:
+        """Produce ``traced``'s timeline via the selected engine, keeping
+        the per-trace memoization and hit/miss counters consistent."""
+        if engine not in ("cached", "compiled", "des"):
+            raise SchedulerError(f"unknown replay engine {engine!r}")
+        if engine == "des":
+            return simulate(traced.program, self.config)
+        if traced._timeline_config is not self.config:
+            traced.invalidate_timeline()
+            traced._timeline_config = self.config
+        if engine == "cached" and traced._timeline is not None:
+            traced.timeline_hits += 1
+            return traced._timeline
+        if traced._compiled is None:
+            traced._compiled = CompiledProgram(traced.program, self.config)
+        timeline = traced._compiled.run()
+        traced._timeline = timeline
+        traced.timeline_misses += 1
+        return timeline
+
+    def time_traced(self, traced: TracedKernel, *, engine: str = "compiled") -> float:
+        """Timing-only evaluation hook: end-to-end simulated nanoseconds of
+        one launch of ``traced`` (device timeline + launch overhead),
+        without materialising a :class:`Trace` and without touching any
+        functional state.
+
+        This is the autotuner's cost probe (:mod:`repro.tune`): candidate
+        plans are traced once and scored through the compiled timeline, so
+        search never executes numerics.  The compiled form and timeline are
+        cached on ``traced`` exactly as :meth:`replay` would cache them.
+        """
+        return (
+            self._timeline_for(traced, engine).total_ns
+            + self.config.costs.kernel_launch_ns
         )
 
     def launch(self, kernel, *, label: "str | None" = None) -> Trace:

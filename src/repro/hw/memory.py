@@ -176,7 +176,21 @@ class GlobalSlice:
 
 
 class GlobalMemory:
-    """Bump allocator over the simulated HBM address space."""
+    """Bump allocator over the simulated HBM address space, with a hole
+    list for individually freed long-lived allocations.
+
+    Two release disciplines coexist:
+
+    * **stack** — :meth:`mark` / :meth:`release` around one-shot operator
+      calls (the bulk of the traffic; O(1) and fragmentation-free);
+    * **per-tensor** — :meth:`free` returns one allocation's bytes to a
+      hole list that :meth:`alloc` reuses first-fit (adjacent holes are
+      coalesced, and holes at the frontier shrink it).  This is what lets
+      the serve layer's plan cache evict cold plans instead of pinning GM
+      forever.  Freeing a tensor allocated *before* an outstanding mark
+      while the mark is live is unsupported (the subsequent ``release``
+      detects the count mismatch and raises).
+    """
 
     #: allocations are aligned to 512 bytes, matching DMA burst alignment
     ALIGN = 512
@@ -186,14 +200,20 @@ class GlobalMemory:
         self.capacity = config.memory.hbm_capacity_bytes
         self._next_addr = 0
         self._tensors: list[GlobalTensor] = []
+        #: freed [addr, addr+size) intervals below the frontier, by address
+        self._holes: list[tuple[int, int]] = []
 
     @property
     def used_bytes(self) -> int:
-        return self._next_addr
+        """Bytes currently backing live allocations (frontier minus holes)."""
+        return self._next_addr - sum(size for _, size in self._holes)
 
     @property
     def tensors(self) -> tuple[GlobalTensor, ...]:
         return tuple(self._tensors)
+
+    def _aligned(self, nbytes: int) -> int:
+        return -(-max(nbytes, 1) // self.ALIGN) * self.ALIGN
 
     def alloc(
         self, name: str, shape: "tuple[int, ...] | int", dtype: "DType | str"
@@ -203,21 +223,75 @@ class GlobalMemory:
             shape = (shape,)
         dt = as_dtype(dtype)
         nbytes = int(np.prod(shape)) * dt.itemsize if shape else dt.itemsize
-        aligned = -(-max(nbytes, 1) // self.ALIGN) * self.ALIGN
-        if self._next_addr + aligned > self.capacity:
-            raise AllocationError(
-                f"HBM out of capacity allocating {nbytes} bytes for {name!r} "
-                f"({self._next_addr} of {self.capacity} bytes used)"
-            )
-        tensor = GlobalTensor(name, dt, shape, self._next_addr)
-        self._next_addr += aligned
+        aligned = self._aligned(nbytes)
+        addr = None
+        for i, (hole_addr, hole_size) in enumerate(self._holes):
+            if hole_size >= aligned:  # first fit, split the remainder
+                addr = hole_addr
+                if hole_size == aligned:
+                    del self._holes[i]
+                else:
+                    self._holes[i] = (hole_addr + aligned, hole_size - aligned)
+                break
+        if addr is None:
+            if self._next_addr + aligned > self.capacity:
+                raise AllocationError(
+                    f"HBM out of capacity allocating {nbytes} bytes for "
+                    f"{name!r} ({self.used_bytes} of {self.capacity} bytes "
+                    f"used)"
+                )
+            addr = self._next_addr
+            self._next_addr += aligned
+        tensor = GlobalTensor(name, dt, shape, addr)
         self._tensors.append(tensor)
         return tensor
+
+    def free(self, tensor: GlobalTensor) -> int:
+        """Return one allocation's bytes to the hole list; returns the
+        number of bytes freed.  The handle (and any view of it) becomes
+        invalid.  Only tensors returned by :meth:`alloc` can be freed —
+        prefix views share their parent's storage and are rejected."""
+        for i, t in enumerate(self._tensors):
+            if t is tensor:
+                del self._tensors[i]
+                break
+        else:
+            raise AllocationError(
+                f"free() of {tensor.name!r}: not an active allocation "
+                f"(already freed, released, or a view)"
+            )
+        aligned = self._aligned(tensor.nbytes)
+        self._insert_hole(tensor.base_addr, aligned)
+        return aligned
+
+    def _insert_hole(self, addr: int, size: int) -> None:
+        """Insert [addr, addr+size), coalescing neighbours and the frontier."""
+        holes = self._holes
+        lo, hi = 0, len(holes)
+        while lo < hi:  # insertion point by address
+            mid = (lo + hi) // 2
+            if holes[mid][0] < addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        holes.insert(lo, (addr, size))
+        if lo + 1 < len(holes) and addr + size == holes[lo + 1][0]:
+            holes[lo] = (addr, size + holes[lo + 1][1])
+            del holes[lo + 1]
+        if lo > 0 and holes[lo - 1][0] + holes[lo - 1][1] == addr:
+            merged = (holes[lo - 1][0], holes[lo - 1][1] + holes[lo][1])
+            holes[lo - 1] = merged
+            del holes[lo]
+        # a hole ending at the frontier lowers the frontier
+        if holes and holes[-1][0] + holes[-1][1] == self._next_addr:
+            self._next_addr = holes[-1][0]
+            holes.pop()
 
     def reset(self) -> None:
         """Release all allocations (used between experiment runs)."""
         self._next_addr = 0
         self._tensors.clear()
+        self._holes.clear()
 
     def mark(self) -> tuple[int, int]:
         """Snapshot the allocator state (stack discipline)."""
@@ -230,5 +304,12 @@ class GlobalMemory:
         addr, count = mark
         if addr > self._next_addr or count > len(self._tensors):
             raise AllocationError("release() with a stale or foreign mark")
-        self._next_addr = addr
+        dropped = self._tensors[count:]
         del self._tensors[count:]
+        self._next_addr = addr
+        self._holes = [(a, s) for a, s in self._holes if a + s <= addr]
+        # allocations that reused a pre-mark hole live below the restored
+        # frontier; re-open their holes instead of leaking them
+        for t in dropped:
+            if t.base_addr < addr:
+                self._insert_hole(t.base_addr, self._aligned(t.nbytes))

@@ -44,6 +44,10 @@ class ScanRequest:
     exclusive: bool
     #: host clock (perf_counter) at submit, for per-request latency
     t_submit: float
+    #: explicit block_dim (only set by tuned configs; None = heuristic)
+    block_dim: "int | None" = None
+    #: True when the config came from a tuned-plan store lookup
+    tuned: bool = False
 
     @property
     def n(self) -> int:
@@ -109,7 +113,7 @@ class RequestBatcher:
             else:
                 key = self.cache.key_1d(
                     req.algorithm, req.n, req.x.dtype, s=req.s,
-                    exclusive=req.exclusive,
+                    exclusive=req.exclusive, block_dim=req.block_dim,
                 )
             group = by_shape.get(key)
             if group is None:
@@ -130,6 +134,7 @@ class RequestBatcher:
                         group.requests[0].n,
                         group.requests[0].x.dtype,
                         s=group.key.s,
+                        block_dim=group.requests[0].block_dim,
                     )
                 out.append(group)
                 continue

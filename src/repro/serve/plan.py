@@ -3,24 +3,33 @@
 A key identifies everything that determines the traced op DAG — the
 algorithm, the *padded* problem size (so every request length that rounds
 up to the same tile multiple shares one plan), the input dtype, the batch
-capacity (``None`` for 1-D plans) and the tile width ``s``.  Values are
-:class:`~repro.core.api.ScanPlan` objects, built on first miss via
+capacity (``None`` for 1-D plans), the tile width ``s`` and the
+``block_dim`` override (``None`` = the algorithm's heuristic).  Values
+are :class:`~repro.core.api.ScanPlan` objects, built on first miss via
 ``ScanContext.build_plan`` / ``build_batched_plan``.
 
-Plans pin their GM tensors for the lifetime of the context (the simulated
-HBM is a bump allocator with stack discipline — nothing inside a plan can
-be freed individually), so the cache never evicts; ``gm_bytes`` reports
-the footprint so callers can budget their working set of shapes.
+The cache is **bounded**: with a ``gm_budget`` (bytes of simulated HBM the
+cached plans may pin) it evicts least-recently-used plans, releasing their
+GM tensors back to the device allocator's hole list
+(:meth:`ScanPlan.release <repro.core.api.ScanPlan.release>`), so a
+long-running service with a drifting shape distribution cannot pin HBM
+without limit.  The plan just built (or just hit) is never evicted.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..core.api import BATCHED_ALGORITHMS, SCAN_ALGORITHMS, ScanContext, ScanPlan
+from ..core.api import (
+    BATCHED_ALGORITHMS,
+    PLAN_1D_ALGORITHMS,
+    ScanContext,
+    ScanPlan,
+)
 from ..core.matrices import batched_tile_rows, padded_length
 from ..core.vector_baseline import CUMSUM_COLS
-from ..errors import KernelError
+from ..errors import ConfigError, KernelError
 
 __all__ = ["PlanKey", "PlanCache"]
 
@@ -37,6 +46,8 @@ class PlanKey:
     batch: "int | None"
     s: int
     exclusive: bool = False
+    #: explicit block_dim override; None means the algorithm's heuristic
+    block_dim: "int | None" = None
 
 
 def _pad_unit(algorithm: str, row_len: int, s: int, *, batched: bool) -> int:
@@ -48,14 +59,28 @@ def _pad_unit(algorithm: str, row_len: int, s: int, *, batched: bool) -> int:
 
 
 class PlanCache:
-    """Build-once / execute-many store of :class:`ScanPlan` objects."""
+    """Build-once / execute-many store of :class:`ScanPlan` objects,
+    LRU-bounded by the GM bytes its plans pin."""
 
-    def __init__(self, ctx: ScanContext, *, validate: bool = True):
+    def __init__(
+        self,
+        ctx: ScanContext,
+        *,
+        validate: bool = True,
+        gm_budget: "int | None" = None,
+    ):
+        if gm_budget is not None and gm_budget < 1:
+            raise ConfigError(f"gm_budget must be positive, got {gm_budget}")
         self.ctx = ctx
         self.validate = validate
-        self._plans: dict[PlanKey, ScanPlan] = {}
+        self.gm_budget = gm_budget
+        #: LRU order: oldest first; hits move a key to the end
+        self._plans: "OrderedDict[PlanKey, ScanPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        #: GM bytes returned to the allocator by evictions
+        self.evicted_gm_bytes = 0
         #: cumulative host seconds spent building plans (the cold cost)
         self.build_host_s = 0.0
 
@@ -69,15 +94,23 @@ class PlanCache:
         *,
         s: int = 128,
         exclusive: bool = False,
+        block_dim: "int | None" = None,
     ) -> PlanKey:
-        if algorithm not in SCAN_ALGORITHMS:
+        if algorithm not in PLAN_1D_ALGORITHMS:
             raise KernelError(
-                f"unknown algorithm {algorithm!r}; pick one of {SCAN_ALGORITHMS}"
+                f"unknown algorithm {algorithm!r}; "
+                f"pick one of {PLAN_1D_ALGORITHMS}"
             )
         dt = self.ctx._as_plan_dtype(dtype)
         unit = _pad_unit(algorithm, n, s, batched=False)
         return PlanKey(
-            algorithm, padded_length(n, unit), dt.name, None, s, exclusive
+            algorithm,
+            padded_length(n, unit),
+            dt.name,
+            None,
+            s,
+            exclusive,
+            block_dim,
         )
 
     def key_batched(
@@ -94,6 +127,29 @@ class PlanCache:
 
     # -- lookup / build -----------------------------------------------------
 
+    def _hit(self, key: PlanKey) -> "ScanPlan | None":
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.hits += 1
+        return plan
+
+    def _admit(self, key: PlanKey, plan: ScanPlan) -> None:
+        self.build_host_s += plan.build_host_s
+        self._plans[key] = plan
+        self._enforce_budget()
+
+    def _enforce_budget(self) -> None:
+        """Evict LRU plans until the GM footprint fits the budget.  The
+        most-recent plan always stays, even if it alone exceeds the
+        budget — a cache that cannot serve its current request is useless."""
+        if self.gm_budget is None:
+            return
+        while len(self._plans) > 1 and self.gm_bytes > self.gm_budget:
+            _, plan = self._plans.popitem(last=False)
+            self.evicted_gm_bytes += plan.release()
+            self.evictions += 1
+
     def get_1d(
         self,
         algorithm: str,
@@ -102,11 +158,14 @@ class PlanCache:
         *,
         s: int = 128,
         exclusive: bool = False,
+        block_dim: "int | None" = None,
+        tuned: bool = False,
     ) -> ScanPlan:
-        key = self.key_1d(algorithm, n, dtype, s=s, exclusive=exclusive)
-        plan = self._plans.get(key)
+        key = self.key_1d(
+            algorithm, n, dtype, s=s, exclusive=exclusive, block_dim=block_dim
+        )
+        plan = self._hit(key)
         if plan is not None:
-            self.hits += 1
             return plan
         self.misses += 1
         plan = self.ctx.build_plan(
@@ -114,20 +173,27 @@ class PlanCache:
             n=key.padded,
             dtype=key.dtype,
             s=s,
+            block_dim=block_dim,
             exclusive=exclusive,
             validate=self.validate,
         )
-        self.build_host_s += plan.build_host_s
-        self._plans[key] = plan
+        plan.tuned = tuned
+        self._admit(key, plan)
         return plan
 
     def get_batched(
-        self, algorithm: str, batch: int, row_len: int, dtype, *, s: int = 128
+        self,
+        algorithm: str,
+        batch: int,
+        row_len: int,
+        dtype,
+        *,
+        s: int = 128,
+        tuned: bool = False,
     ) -> ScanPlan:
         key = self.key_batched(algorithm, batch, row_len, dtype, s=s)
-        plan = self._plans.get(key)
+        plan = self._hit(key)
         if plan is not None:
-            self.hits += 1
             return plan
         self.misses += 1
         plan = self.ctx.build_batched_plan(
@@ -138,8 +204,8 @@ class PlanCache:
             s=s,
             validate=self.validate,
         )
-        self.build_host_s += plan.build_host_s
-        self._plans[key] = plan
+        plan.tuned = tuned
+        self._admit(key, plan)
         return plan
 
     # -- introspection ------------------------------------------------------
@@ -152,12 +218,14 @@ class PlanCache:
 
     @property
     def gm_bytes(self) -> int:
-        """Device-memory footprint pinned by the cached plans."""
-        total = 0
-        for plan in self._plans.values():
-            total += plan.x_gm.num_elements * plan.x_gm.dtype.itemsize
-            total += plan.y_gm.num_elements * plan.y_gm.dtype.itemsize
-        return total
+        """Device-memory footprint pinned by the cached plans (inputs,
+        outputs and per-plan scratch such as MCScan's ``r`` array)."""
+        return sum(plan.gm_bytes for plan in self._plans.values())
+
+    @property
+    def tuned_plans(self) -> int:
+        """Cached plans whose configuration came from a tuned-plan store."""
+        return sum(1 for p in self._plans.values() if p.tuned)
 
     @property
     def timeline_hits(self) -> int:
@@ -174,6 +242,9 @@ class PlanCache:
             "plans": len(self._plans),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
+            "evicted_gm_bytes": self.evicted_gm_bytes,
+            "tuned_plans": self.tuned_plans,
             "build_host_s": self.build_host_s,
             "gm_bytes": self.gm_bytes,
             "timeline_hits": self.timeline_hits,

@@ -52,6 +52,10 @@ class ScanTicket:
     batched: bool = False
     #: number of requests sharing the launch (1 for single launches)
     batch_size: int = 1
+    #: True when the plan config came from the tuned-plan store
+    tuned: bool = False
+    #: explicit block_dim the tuned config requested (None = heuristic)
+    block_dim: "int | None" = None
 
     def result(self) -> np.ndarray:
         if not self.done:
@@ -73,9 +77,19 @@ class ScanService:
         min_group: int = 2,
         batching: bool = True,
         validate_plans: bool = True,
+        gm_budget: "int | None" = None,
+        tune_store=None,
     ):
         self.ctx = ctx if ctx is not None else ScanContext(config)
-        self.cache = PlanCache(self.ctx, validate=validate_plans)
+        #: tuned-plan store consulted when submit() is given no explicit
+        #: algorithm/s (see repro.tune.TuneStore); also exposed to the
+        #: context so direct build_plan(tuned=True) calls share it
+        self.tune_store = tune_store
+        if tune_store is not None:
+            self.ctx.tune_store = tune_store
+        self.cache = PlanCache(
+            self.ctx, validate=validate_plans, gm_budget=gm_budget
+        )
         self.batcher = RequestBatcher(
             self.cache,
             max_batch=max_batch,
@@ -92,19 +106,43 @@ class ScanService:
         self,
         x: np.ndarray,
         *,
-        algorithm: str = "scanu",
-        s: int = 128,
+        algorithm: "str | None" = None,
+        s: "int | None" = None,
         exclusive: bool = False,
     ) -> ScanTicket:
-        """Enqueue one 1-D scan; returns an unfilled ticket."""
+        """Enqueue one 1-D scan; returns an unfilled ticket.
+
+        ``algorithm``/``s`` of None mean *let the service decide*: with a
+        tuned-plan store attached, the workload is looked up there and a
+        hit supplies algorithm, tile size and block_dim; otherwise (and
+        for explicit arguments, which always win) the heuristic default
+        ``scanu``/``s=128`` applies.
+        """
         x = np.asarray(x)
         if x.ndim != 1:
             raise ShapeError(f"submit expects a 1-D array, got shape {x.shape}")
         if x.size == 0:
             raise ShapeError("submit expects a non-empty array")
         dt = self.ctx._as_plan_dtype(x.dtype)
+        tuned = False
+        block_dim: "int | None" = None
+        if algorithm is None and s is None and self.tune_store is not None:
+            entry = self.tune_store.lookup_1d(
+                n=x.size, dtype=dt.name, exclusive=exclusive
+            )
+            if entry is not None:
+                algorithm = entry.algorithm
+                s = entry.s
+                block_dim = entry.block_dim
+                tuned = True
+        if algorithm is None:
+            algorithm = "scanu"
+        if s is None:
+            s = 128
         # key construction validates algorithm/exclusive combinations early
-        self.cache.key_1d(algorithm, x.size, dt, s=s, exclusive=exclusive)
+        self.cache.key_1d(
+            algorithm, x.size, dt, s=s, exclusive=exclusive, block_dim=block_dim
+        )
         req_id = self._next_id
         self._next_id += 1
         req = ScanRequest(
@@ -114,6 +152,8 @@ class ScanService:
             s=s,
             exclusive=exclusive,
             t_submit=time.perf_counter(),
+            block_dim=block_dim,
+            tuned=tuned,
         )
         ticket = ScanTicket(
             req_id=req_id,
@@ -122,6 +162,8 @@ class ScanService:
             dtype=dt.name,
             s=s,
             exclusive=exclusive,
+            tuned=tuned,
+            block_dim=block_dim,
         )
         self._tickets[req_id] = ticket
         self.batcher.add(req)
@@ -155,7 +197,8 @@ class ScanService:
         key = group.key
         hit = key in self.cache
         plan = self.cache.get_batched(
-            key.algorithm, key.batch, key.padded, key.dtype, s=key.s
+            key.algorithm, key.batch, key.padded, key.dtype, s=key.s,
+            tuned=any(r.tuned for r in group.requests),
         )
         return plan, hit
 
@@ -173,6 +216,7 @@ class ScanService:
             xp[i, : req.n] = req.x
         hits_before = plan.timeline_hits
         result = plan.execute(xp)
+        group_tuned = any(r.tuned for r in group.requests)
         per_launch_n = sum(req.n for req in group.requests)
         io = per_launch_n * plan._io_bytes_per_element()
         self.stats.record_launch(
@@ -184,6 +228,7 @@ class ScanService:
                 requests=len(group.requests),
                 plan_hit=hit,
                 timeline_hit=plan.timeline_hits > hits_before,
+                tuned=group_tuned,
             )
         )
         tickets = []
@@ -203,12 +248,13 @@ class ScanService:
         for req in group.requests:
             key = self.cache.key_1d(
                 req.algorithm, req.n, req.x.dtype, s=req.s,
-                exclusive=req.exclusive,
+                exclusive=req.exclusive, block_dim=req.block_dim,
             )
             hit = key in self.cache
             plan = self.cache.get_1d(
                 req.algorithm, req.n, req.x.dtype, s=req.s,
-                exclusive=req.exclusive,
+                exclusive=req.exclusive, block_dim=req.block_dim,
+                tuned=req.tuned,
             )
             hits_before = plan.timeline_hits
             result = plan.execute(req.x)
@@ -221,6 +267,7 @@ class ScanService:
                     requests=1,
                     plan_hit=hit,
                     timeline_hit=plan.timeline_hits > hits_before,
+                    tuned=req.tuned,
                 )
             )
             ticket = self._tickets.pop(req.req_id)
@@ -237,12 +284,21 @@ class ScanService:
         cache = self.cache.stats()
         lines = [
             "scan service",
-            f"plan cache      : {cache['plans']} plans, "
+            f"plan cache      : {cache['plans']} plans "
+            f"({cache['tuned_plans']} tuned), "
             f"{cache['hits']} hits / {cache['misses']} misses, "
+            f"{cache['evictions']} evictions "
+            f"({cache['evicted_gm_bytes'] / 1e6:.1f} MB freed), "
             f"{cache['build_host_s'] * 1e3:.1f} ms build time, "
             f"{cache['gm_bytes'] / 1e6:.1f} MB GM pinned",
             f"timeline cache  : {cache['timeline_hits']} hits / "
             f"{cache['timeline_misses']} misses (memoized replays)",
-            self.stats.summary(),
         ]
+        if self.tune_store is not None:
+            lines.append(
+                f"tuned store     : {len(self.tune_store)} entries, "
+                f"{self.tune_store.lookup_hits} lookup hits / "
+                f"{self.tune_store.lookup_misses} misses"
+            )
+        lines.append(self.stats.summary())
         return "\n".join(lines)

@@ -25,6 +25,8 @@ class LaunchRecord:
     plan_hit: bool
     #: True when the launch replayed a memoized timeline (no scheduling)
     timeline_hit: bool = False
+    #: True when the launch's plan config came from a tuned-plan store
+    tuned: bool = False
 
 
 def _percentile(sorted_vals: "list[float]", q: float) -> float:
@@ -109,6 +111,23 @@ class ServiceStats:
             self.launches
         )
 
+    @property
+    def tuned_launches(self) -> int:
+        """Launches whose plan configuration came from the tuned store."""
+        return sum(1 for r in self.launches if r.tuned)
+
+    @property
+    def tuned_requests(self) -> int:
+        """Requests served by tuned-plan launches."""
+        return sum(r.requests for r in self.launches if r.tuned)
+
+    @property
+    def tuned_hit_rate(self) -> float:
+        """Fraction of launches that used a tuned plan configuration."""
+        if not self.launches:
+            return 0.0
+        return self.tuned_launches / len(self.launches)
+
     def summary(self) -> str:
         lat = sorted(self.host_latencies_s)
         lines = [
@@ -116,7 +135,8 @@ class ServiceStats:
             f"({self.coalesced_requests} coalesced into batched launches)",
             f"launches        : {self.launch_count} "
             f"(plan hit rate {self.plan_hit_rate:.0%}, "
-            f"timeline hit rate {self.timeline_hit_rate:.0%})",
+            f"timeline hit rate {self.timeline_hit_rate:.0%}, "
+            f"tuned {self.tuned_hit_rate:.0%})",
             f"host latency    : mean {self.mean_host_latency_s * 1e3:.2f} ms, "
             f"p50 {_percentile(lat, 0.50) * 1e3:.2f} ms, "
             f"p99 {_percentile(lat, 0.99) * 1e3:.2f} ms",

@@ -1,0 +1,46 @@
+"""Simulator-guided autotuner with a persistent tuned-plan store.
+
+The serve layer's heuristics (``scanu``, ``s=128``) are a reasonable
+default, but the best plan configuration depends on the workload shape —
+MCScan dominates at large 1-D sizes, small tile sizes lose to Mmad issue
+overhead, and few-long-row batches are sometimes better served row-by-row
+through a multi-core 1-D plan.  This package searches that space *on the
+simulator* (one host-side trace per surviving candidate, never executing
+numerics), prunes with sound roofline lower bounds from
+:mod:`repro.analysis`, and persists the winners in a fingerprinted JSON
+store that :meth:`ScanContext.build_plan(tuned=True)
+<repro.core.api.ScanContext.build_plan>` and the serve layer consult.
+
+See ``repro tune --help`` for the CLI entry point.
+"""
+
+from .evaluate import CandidateCost, evaluate_candidate
+from .space import (
+    SWEEP_S,
+    Candidate,
+    WorkloadKey,
+    candidate_floor_ns,
+    default_candidate,
+    enumerate_candidates,
+)
+from .store import STORE_VERSION, TunedEntry, TuneStore, config_fingerprint
+from .tuner import CandidateOutcome, TuneResult, format_result, tune_workload
+
+__all__ = [
+    "SWEEP_S",
+    "STORE_VERSION",
+    "Candidate",
+    "CandidateCost",
+    "CandidateOutcome",
+    "TunedEntry",
+    "TuneResult",
+    "TuneStore",
+    "WorkloadKey",
+    "candidate_floor_ns",
+    "config_fingerprint",
+    "default_candidate",
+    "enumerate_candidates",
+    "evaluate_candidate",
+    "format_result",
+    "tune_workload",
+]

@@ -1,0 +1,252 @@
+"""Candidate search space of the autotuner.
+
+A *workload* is what the serve layer sees — a logical shape plus dtype
+(and exclusivity / batch geometry).  A *candidate* is one concrete plan
+configuration that could serve it: algorithm (or competitor strategy) ×
+tile size ``s`` × ``block_dim`` × layout (batched kernel vs one 1-D plan
+replayed per row).
+
+The expensive part of evaluating a candidate is not device time — it is
+the *host-side Python trace* (op-DAG emission), which grows with the tile
+count.  So the space attaches a roofline **floor** to every candidate: a
+device-time lower bound derived from :mod:`repro.analysis.roofline` that
+is sound by construction (no schedule can beat the memory roof, the MTE
+link width, or the cube's serialised Mmad issue).  The tuner evaluates the
+default config first and then visits candidates in ascending-floor order,
+skipping any whose floor already exceeds the incumbent — which is exactly
+what kills the trace-heavy small-``s`` configs on large inputs without
+ever tracing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.roofline import cube_issue_floor_ns, link_floor_ns, memory_floor_ns
+from ..core.api import BATCHED_ALGORITHMS, PLAN_1D_ALGORITHMS
+from ..core.batched import default_batched_block_dim
+from ..core.matrices import batched_tile_rows, padded_length
+from ..core.vector_baseline import CUMSUM_COLS
+from ..errors import ConfigError
+from ..hw.config import DeviceConfig
+from ..hw.datatypes import as_dtype, cube_accum_dtype
+
+__all__ = [
+    "SWEEP_S",
+    "WorkloadKey",
+    "Candidate",
+    "default_candidate",
+    "enumerate_candidates",
+    "candidate_floor_ns",
+]
+
+#: tile sizes the sweep considers (the paper evaluates 16..128; s is the
+#: side of the U_s constant matrix, so tiles hold s*s elements)
+SWEEP_S = (16, 32, 64, 128)
+
+#: algorithms whose 1-D kernels split tiles over block_dim cube cores
+_MULTI_CORE_1D = ("mcscan", "ssa", "rss", "lookback")
+
+
+@dataclass(frozen=True)
+class WorkloadKey:
+    """What the tuner optimises for: a logical request shape.
+
+    ``kind`` is ``"1d"`` (then ``n`` is the element count, ``batch`` is
+    None) or ``"batched"`` (then ``n`` is the row length and ``batch``
+    the row count).  Keys use the *logical* n, not a padded length —
+    padding depends on ``s``, which is precisely what is being chosen.
+    """
+
+    kind: str
+    n: int
+    dtype: str
+    exclusive: bool = False
+    batch: "int | None" = None
+
+    def __post_init__(self):
+        if self.kind not in ("1d", "batched"):
+            raise ConfigError(f"workload kind must be '1d' or 'batched', got {self.kind!r}")
+        if self.n < 1:
+            raise ConfigError(f"workload n must be >= 1, got {self.n}")
+        if (self.kind == "batched") != (self.batch is not None):
+            raise ConfigError("batched workloads need batch, 1-D workloads must not set it")
+        if self.batch is not None and self.batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {self.batch}")
+        as_dtype(self.dtype)  # validates the name
+
+    @property
+    def store_key(self) -> str:
+        if self.kind == "1d":
+            return f"1d:{self.n}:{self.dtype}:{'x' if self.exclusive else 'i'}"
+        return f"batched:{self.batch}x{self.n}:{self.dtype}"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One concrete plan configuration for a workload.
+
+    ``layout`` is ``"batched"`` for the row-parallel batched kernels and
+    ``"1d"`` for serving each row through a single 1-D plan (only
+    meaningful for batched workloads; 1-D workloads always use ``"1d"``).
+    ``block_dim`` of None means the algorithm's own heuristic.
+    """
+
+    algorithm: str
+    s: int
+    block_dim: "int | None" = None
+    layout: str = "1d"
+
+    def describe(self) -> str:
+        bd = "auto" if self.block_dim is None else str(self.block_dim)
+        if self.algorithm == "vector":
+            return f"{self.layout}/vector(bd={bd})"
+        return f"{self.layout}/{self.algorithm}(s={self.s}, bd={bd})"
+
+
+def default_candidate(workload: WorkloadKey) -> Candidate:
+    """The configuration the serve layer falls back to without a store —
+    :meth:`ScanService.submit`'s defaults.  It is always a member of the
+    search space and always evaluated first, which is what guarantees the
+    tuned choice is never slower than the default."""
+    if workload.exclusive:
+        return Candidate("mcscan", 128, None, "1d")
+    layout = "batched" if workload.kind == "batched" else "1d"
+    return Candidate("scanu", 128, None, layout)
+
+
+def _1d_block_dims(config: DeviceConfig, n_tiles: int) -> "list[int | None]":
+    """block_dim sweep for the multi-core 1-D kernels: the heuristic
+    (None → min(cores, tiles)) plus a coarse power-of-two ladder below it."""
+    limit = max(1, min(config.num_ai_cores, n_tiles))
+    dims: "list[int | None]" = [None]
+    bd = 1
+    while bd < limit:
+        dims.append(bd)
+        bd *= 2
+    return dims
+
+
+def _batched_block_dims(config: DeviceConfig, algorithm: str, batch: int) -> "list[int | None]":
+    default = default_batched_block_dim(config, algorithm, batch)
+    dims: "list[int | None]" = [None]
+    bd = 1
+    while bd < default:
+        dims.append(bd)
+        bd *= 2
+    return dims
+
+
+def enumerate_candidates(
+    config: DeviceConfig, workload: WorkloadKey
+) -> "list[Candidate]":
+    """All candidates for a workload, default first, no duplicates."""
+    default = default_candidate(workload)
+    seen = {default}
+    out = [default]
+
+    def add(c: Candidate) -> None:
+        if c not in seen:
+            seen.add(c)
+            out.append(c)
+
+    if workload.kind == "1d":
+        for algorithm in PLAN_1D_ALGORITHMS:
+            if workload.exclusive and algorithm != "mcscan":
+                continue
+            if algorithm == "vector":
+                add(Candidate("vector", 0, None, "1d"))
+                continue
+            for s in SWEEP_S:
+                n_tiles = padded_length(workload.n, s * s) // (s * s)
+                dims = (
+                    _1d_block_dims(config, n_tiles)
+                    if algorithm in _MULTI_CORE_1D
+                    else [None]
+                )
+                for bd in dims:
+                    add(Candidate(algorithm, s, bd, "1d"))
+        return out
+
+    # batched workloads: the row-parallel kernels ...
+    for algorithm in BATCHED_ALGORITHMS:
+        if algorithm == "vector":
+            add(Candidate("vector", 0, None, "batched"))
+            continue
+        for s in SWEEP_S:
+            for bd in _batched_block_dims(config, algorithm, workload.batch):
+                add(Candidate(algorithm, s, bd, "batched"))
+    # ... versus one 1-D plan replayed per row (competitive for few long
+    # rows, where per-row multi-core beats row-parallelism)
+    row = WorkloadKey("1d", workload.n, workload.dtype)
+    for cand in enumerate_candidates(config, row):
+        add(Candidate(cand.algorithm, cand.s, cand.block_dim, "1d"))
+    return out
+
+
+def _pad_unit(cand: Candidate, row_len: int) -> int:
+    """Padding granularity a candidate imposes on its (row) length."""
+    if cand.algorithm == "vector":
+        return CUMSUM_COLS
+    if cand.layout == "batched":
+        # batched tiles are m x s with m = batched_tile_rows(...) <= s
+        return batched_tile_rows(row_len, cand.s) * cand.s
+    return cand.s * cand.s
+
+
+def _gm_floor_bytes(workload: WorkloadKey, cand: Candidate) -> int:
+    """Bytes any execution of this candidate must move through GM: padded
+    input read once + padded output written once (a lower bound — real
+    kernels add partials/r-array traffic)."""
+    dt = as_dtype(workload.dtype)
+    out_itemsize = (
+        dt.itemsize if cand.algorithm == "vector" else cube_accum_dtype(dt).itemsize
+    )
+    padded = padded_length(workload.n, _pad_unit(cand, workload.n))
+    rows = workload.batch if (workload.batch and cand.layout == "batched") else 1
+    return rows * padded * (dt.itemsize + out_itemsize)
+
+
+def candidate_floor_ns(
+    config: DeviceConfig, workload: WorkloadKey, cand: Candidate
+) -> float:
+    """Sound device-time lower bound for one candidate (used to prune).
+
+    max(memory roof, MTE-link width, cube Mmad issue) + launch overhead;
+    for the per-row 1-D layout on a batched workload the whole bound is
+    paid once per row.
+    """
+    per_launch_workload = workload
+    launches = 1
+    if workload.kind == "batched" and cand.layout == "1d":
+        per_launch_workload = WorkloadKey("1d", workload.n, workload.dtype)
+        launches = workload.batch
+
+    gm = _gm_floor_bytes(per_launch_workload, cand)
+    floor = memory_floor_ns(config, gm)
+
+    if cand.algorithm == "vector":
+        lanes = config.num_vector_cores
+        floor = max(floor, link_floor_ns(config, gm, lanes))
+    else:
+        unit = _pad_unit(cand, per_launch_workload.n)
+        padded = padded_length(per_launch_workload.n, unit)
+        n_tiles = padded // unit
+        if cand.layout == "batched":
+            n_tiles *= workload.batch  # tiles across all rows
+        if cand.algorithm in _MULTI_CORE_1D and cand.layout == "1d":
+            bd = cand.block_dim or max(1, min(config.num_ai_cores, n_tiles))
+        elif cand.layout == "batched":
+            bd = cand.block_dim or default_batched_block_dim(
+                config, cand.algorithm, workload.batch or 1
+            )
+        else:
+            bd = 1  # scanu / scanul1 run their cube stage on one core
+        bd = max(1, min(bd, config.num_ai_cores))
+        lanes = bd * config.vector_cores_per_ai_core
+        floor = max(floor, link_floor_ns(config, gm, lanes))
+        # every tile costs at least one Mmad issue on its core
+        mmads_per_core = -(-n_tiles // bd)
+        floor = max(floor, cube_issue_floor_ns(config, mmads_per_core))
+
+    return launches * (floor + config.costs.kernel_launch_ns)

@@ -57,11 +57,22 @@ class TestCorrectness:
         res = scan_ctx.scan(x, algorithm="mcscan", block_dim=1)
         assert np.array_equal(res.values, expected[:40_000])
 
-    def test_more_blocks_than_tiles(self, scan_ctx, rng):
-        """Blocks with empty tile ranges must still behave (write r = 0)."""
-        x, expected = exact_fp16_scan_input(16384 * 3, rng)  # 3 tiles, 20 blocks
-        res = scan_ctx.scan(x, algorithm="mcscan", block_dim=20)
-        assert np.array_equal(res.values, expected)
+    def test_more_blocks_than_tiles_rejected(self, scan_ctx, rng):
+        """block_dim beyond the tile count is rejected at the API level
+        (the partition itself tolerates empty ranges, see TestPartition)."""
+        from repro.errors import ConfigError
+
+        x, _ = exact_fp16_scan_input(16384 * 3, rng)  # 3 tiles at s=128
+        with pytest.raises(ConfigError):
+            scan_ctx.scan(x, algorithm="mcscan", block_dim=20)
+
+    @pytest.mark.parametrize("bad", [0, -1, 21])
+    def test_bad_block_dim_rejected(self, scan_ctx, rng, bad):
+        from repro.errors import ConfigError
+
+        x, _ = exact_fp16_scan_input(1 << 20, rng)  # 64 tiles: cores bind
+        with pytest.raises(ConfigError):
+            scan_ctx.scan(x, algorithm="mcscan", block_dim=bad)
 
 
 class TestStructure:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import KernelError
+from repro.errors import ConfigError, KernelError
 from repro.core.api import SCAN_STRATEGIES
 from repro.core.reference import exact_fp16_scan_input, inclusive_scan
 
@@ -26,10 +26,21 @@ class TestStrategyCorrectness:
         res = scan_ctx.scan_strategy(x, strategy=strategy, block_dim=1)
         assert np.array_equal(res.values, expected[:40_000])
 
-    def test_more_blocks_than_tiles(self, scan_ctx, rng, strategy):
-        x, expected = exact_fp16_scan_input(16384 * 2, rng)
-        res = scan_ctx.scan_strategy(x, strategy=strategy, block_dim=20)
-        assert np.array_equal(res.values, expected)
+    def test_more_blocks_than_tiles_rejected(self, scan_ctx, rng, strategy):
+        """block_dim beyond the tile count is a config error: the extra
+        cores would idle while still paying synchronisation."""
+        x, _ = exact_fp16_scan_input(16384 * 2, rng)  # 2 tiles at s=128
+        with pytest.raises(ConfigError):
+            scan_ctx.scan_strategy(x, strategy=strategy, block_dim=20)
+
+    @pytest.mark.parametrize("s", [16, 64])
+    @pytest.mark.parametrize("block_dim", [None, 1, 4])
+    def test_strategy_matrix(self, scan_ctx, rng, strategy, s, block_dim):
+        """Every strategy × tile size × block_dim agrees with the oracle."""
+        n = 5 * s * s + 7  # several tiles plus a ragged tail
+        x, expected = exact_fp16_scan_input(n, rng)
+        res = scan_ctx.scan_strategy(x, strategy=strategy, s=s, block_dim=block_dim)
+        assert np.array_equal(res.values, expected[:n])
 
 
 class TestStrategyStructure:

@@ -140,3 +140,73 @@ class TestMarkRelease:
         mem.reset()
         assert mem.used_bytes == 0
         assert mem.tensors == ()
+
+
+class TestFree:
+    def test_free_returns_bytes_and_updates_accounting(self, mem):
+        a = mem.alloc("a", 1024, "fp16")
+        used = mem.used_bytes
+        freed = mem.free(a)
+        assert freed == 2048  # 1024 fp16 elements, already 512-aligned
+        assert mem.used_bytes == used - freed
+        assert all(t is not a for t in mem.tensors)
+
+    def test_freed_hole_is_reused_first_fit(self, mem):
+        a = mem.alloc("a", 1024, "fp16")
+        mem.alloc("b", 1024, "fp16")  # pins the frontier above a
+        addr = a.base_addr
+        mem.free(a)
+        c = mem.alloc("c", 1024, "fp16")  # exact fit into a's hole
+        assert c.base_addr == addr
+
+    def test_larger_hole_is_split(self, mem):
+        a = mem.alloc("a", 2048, "fp16")
+        mem.alloc("b", 64, "fp16")
+        addr = a.base_addr
+        mem.free(a)
+        c = mem.alloc("c", 256, "fp16")  # 512-byte slice of the 4096 hole
+        d = mem.alloc("d", 256, "fp16")  # next slice of the same hole
+        assert c.base_addr == addr
+        assert d.base_addr == addr + 512
+
+    def test_adjacent_holes_coalesce(self, mem):
+        a = mem.alloc("a", 256, "fp16")
+        b = mem.alloc("b", 256, "fp16")
+        mem.alloc("pin", 64, "fp16")
+        mem.free(a)
+        mem.free(b)  # holes coalesce into one 1024-byte span
+        c = mem.alloc("c", 512, "fp16")
+        assert c.base_addr == a.base_addr
+
+    def test_frontier_hole_lowers_frontier(self, mem):
+        base = mem.used_bytes
+        a = mem.alloc("a", 1024, "fp16")
+        mem.free(a)  # hole touches the frontier: bump pointer retreats
+        assert mem.used_bytes == base
+        b = mem.alloc("b", 4096, "fp16")
+        assert b.base_addr == a.base_addr
+
+    def test_double_free_rejected(self, mem):
+        a = mem.alloc("a", 64, "fp16")
+        mem.free(a)
+        with pytest.raises(AllocationError, match="not an active allocation"):
+            mem.free(a)
+
+    def test_free_of_view_rejected(self, mem):
+        a = mem.alloc("a", 64, "fp16")
+        with pytest.raises(AllocationError):
+            mem.free(a.prefix(8))
+
+    def test_release_reopens_holes_consumed_by_dropped_tensors(self, mem):
+        """A tensor allocated from a pre-mark hole and then dropped by
+        release() must give its bytes back (no permanent leak)."""
+        a = mem.alloc("a", 1024, "fp16")
+        mem.alloc("pin", 64, "fp16")
+        mem.free(a)  # hole below the future mark
+        baseline = mem.used_bytes
+        mark = mem.mark()
+        mem.alloc("tmp", 1024, "fp16")  # reuses a's hole (below mark addr)
+        mem.release(mark)
+        assert mem.used_bytes == baseline
+        c = mem.alloc("c", 1024, "fp16")
+        assert c.base_addr == a.base_addr

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.api import ScanContext
 from repro.core.matrices import batched_tile_rows, padded_length
-from repro.errors import KernelError, ShapeError
+from repro.errors import ConfigError, KernelError, ShapeError
 from repro.hw.config import toy_config
 from repro.serve import PlanCache, PlanKey
 
@@ -144,3 +144,82 @@ def test_plan_execute_des_engine_and_audit(cache):
     assert (plan.timeline_misses, plan.timeline_hits) == (1, 0)
     plan.execute(x)
     assert (plan.timeline_misses, plan.timeline_hits) == (1, 1)
+
+
+class TestLRUEviction:
+    def _bounded(self, first_plan_bytes: int) -> PlanCache:
+        # budget fits roughly one plan of the probed size, so a second
+        # distinct shape class forces an eviction
+        return PlanCache(
+            ScanContext(toy_config()), gm_budget=first_plan_bytes + 512
+        )
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            PlanCache(ScanContext(toy_config()), gm_budget=0)
+
+    def test_unbounded_cache_never_evicts(self, cache):
+        for n in (100, 2000, 5000):
+            cache.get_1d("scanu", n, "fp16", s=32)
+        assert cache.evictions == 0
+
+    def test_eviction_frees_gm_and_counts(self):
+        probe = PlanCache(ScanContext(toy_config()))
+        probe_bytes = probe.get_1d("scanu", 1024, "fp16", s=32).gm_bytes
+
+        cache = self._bounded(probe_bytes)
+        mem = cache.ctx.device.memory
+        a = cache.get_1d("scanu", 1024, "fp16", s=32)
+        used_with_a = mem.used_bytes
+        b = cache.get_1d("scanu", 4096, "fp16", s=32)  # evicts a
+        assert cache.evictions == 1
+        assert cache.evicted_gm_bytes == a.gm_bytes
+        assert a.released and not b.released
+        assert len(cache) == 1
+        # a's GM really came back: current usage grew by less than b's size
+        assert mem.used_bytes < used_with_a + b.gm_bytes
+        with pytest.raises(KernelError, match="released"):
+            a.execute(np.ones(1024, dtype=np.float16))
+
+    def test_eviction_is_lru_not_fifo(self):
+        # budget holds the 1024- and 4096-class plans together but not all
+        # three, so exactly one eviction happens — and it must take the
+        # least-recently-used plan (b), not the oldest-inserted (a)
+        probe = PlanCache(ScanContext(toy_config()))
+        probe_bytes = (
+            probe.get_1d("scanu", 1024, "fp16", s=32).gm_bytes
+            + probe.get_1d("scanu", 4096, "fp16", s=32).gm_bytes
+        )
+
+        cache = PlanCache(ScanContext(toy_config()), gm_budget=probe_bytes + 512)
+        a = cache.get_1d("scanu", 1024, "fp16", s=32)
+        b = cache.get_1d("scanu", 2048, "fp16", s=32)
+        cache.get_1d("scanu", 1024, "fp16", s=32)  # touch a: b becomes LRU
+        cache.get_1d("scanu", 4096, "fp16", s=32)  # needs room
+        assert b.released and not a.released
+
+    def test_most_recent_plan_survives_even_over_budget(self):
+        cache = PlanCache(ScanContext(toy_config()), gm_budget=1)
+        plan = cache.get_1d("scanu", 1024, "fp16", s=32)
+        assert not plan.released  # never evict the plan just requested
+        assert len(cache) == 1
+        res = plan.execute(np.ones(1024, dtype=np.float16))
+        assert np.array_equal(res.values, np.arange(1, 1025, dtype=np.float32))
+
+    def test_evicted_shape_rebuilds_on_next_request(self):
+        cache = PlanCache(ScanContext(toy_config()), gm_budget=1)
+        a = cache.get_1d("scanu", 1024, "fp16", s=32)
+        cache.get_1d("scanu", 4096, "fp16", s=32)  # evicts a
+        again = cache.get_1d("scanu", 1024, "fp16", s=32)  # rebuild, not hit
+        assert again is not a
+        assert cache.misses == 3
+        res = again.execute(np.ones(1024, dtype=np.float16))
+        assert np.array_equal(res.values, np.arange(1, 1025, dtype=np.float32))
+
+    def test_stats_expose_eviction_counters(self):
+        cache = PlanCache(ScanContext(toy_config()), gm_budget=1)
+        cache.get_1d("scanu", 1024, "fp16", s=32)
+        cache.get_1d("scanu", 4096, "fp16", s=32)
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["evicted_gm_bytes"] > 0

@@ -196,3 +196,50 @@ def test_timeline_hit_stats(service):
     assert cache_stats["timeline_hits"] == 2
     assert "timeline cache" in service.summary()
     assert "timeline hit rate" in service.stats.summary()
+
+
+class TestTunedServing:
+    @pytest.fixture()
+    def tuned_service(self) -> ScanService:
+        from repro.tune import TunedEntry, TuneStore
+
+        config = toy_config()
+        store = TuneStore(config)
+        store.record(
+            "1d:1024:fp16:i",
+            TunedEntry(
+                algorithm="mcscan", s=32, block_dim=None, layout="1d",
+                tuned_ns=1.0, default_ns=2.0,
+            ),
+        )
+        return ScanService(config=config, tune_store=store, batching=False)
+
+    def test_store_hit_supplies_config(self, tuned_service):
+        x = _x(1024)
+        t = tuned_service.scan(x)
+        assert t.tuned
+        assert (t.algorithm, t.s) == ("mcscan", 32)
+        assert np.array_equal(t.result(), inclusive_scan(x))
+        assert tuned_service.stats.tuned_launches == 1
+        assert tuned_service.stats.tuned_hit_rate == 1.0
+        assert tuned_service.tune_store.lookup_hits == 1
+        assert "tuned store" in tuned_service.summary()
+
+    def test_explicit_args_bypass_store(self, tuned_service):
+        t = tuned_service.scan(_x(1024), algorithm="scanu", s=128)
+        assert not t.tuned
+        assert (t.algorithm, t.s) == ("scanu", 128)
+        assert tuned_service.tune_store.lookup_hits == 0
+
+    def test_store_miss_falls_back_to_default(self, tuned_service):
+        t = tuned_service.scan(_x(4096))  # shape not in store
+        assert not t.tuned
+        assert (t.algorithm, t.s) == ("scanu", 128)
+        assert tuned_service.stats.tuned_launches == 0
+        assert tuned_service.tune_store.lookup_misses == 1
+
+    def test_no_store_means_heuristic_default(self, service):
+        t = service.scan(_x(1024))
+        assert not t.tuned
+        assert (t.algorithm, t.s) == ("scanu", 128)
+        assert service.stats.tuned_hit_rate == 0.0

@@ -1,0 +1,133 @@
+"""End-to-end tuner tests: sweep contract, pruning, store integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.config import ASCEND_910B4
+from repro.tune import (
+    TuneStore,
+    WorkloadKey,
+    default_candidate,
+    format_result,
+    tune_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def tuned_64k(scan_ctx_module):
+    ctx = scan_ctx_module
+    store = TuneStore(ctx.config)
+    workload = WorkloadKey("1d", 65536, "fp16")
+    result = tune_workload(ctx, workload, store=store)
+    return ctx, store, workload, result
+
+
+@pytest.fixture(scope="module")
+def scan_ctx_module():
+    from repro.core.api import ScanContext
+
+    return ScanContext(ASCEND_910B4)
+
+
+class TestSweep:
+    def test_default_evaluated_first(self, tuned_64k):
+        _, _, workload, result = tuned_64k
+        assert result.outcomes[0].status == "default"
+        assert result.outcomes[0].candidate == default_candidate(workload)
+        assert result.outcomes[0].device_ns == result.default_ns
+
+    def test_tuned_never_slower(self, tuned_64k):
+        *_, result = tuned_64k
+        assert result.best_ns <= result.default_ns
+        # on 64K the MCScan family wins big; assert a real improvement
+        assert result.speedup > 1.5
+
+    def test_roofline_pruning_bites(self, tuned_64k):
+        *_, result = tuned_64k
+        assert result.pruned > 0
+        assert result.evaluated + result.pruned == len(result.outcomes)
+        # pruned candidates' floors must all be >= the final best time
+        for o in result.outcomes:
+            if o.status == "pruned":
+                assert o.floor_ns >= result.best_ns
+
+    def test_winner_recorded_in_store(self, tuned_64k):
+        _, store, workload, result = tuned_64k
+        e = store.lookup_1d(n=65536, dtype="fp16")
+        assert e is not None
+        assert (e.algorithm, e.s, e.block_dim) == (
+            result.best.algorithm,
+            result.best.s,
+            result.best.block_dim,
+        )
+        assert e.tuned_ns == result.best_ns
+        assert e.default_ns == result.default_ns
+
+    def test_format_result_mentions_winner(self, tuned_64k):
+        *_, result = tuned_64k
+        text = format_result(result)
+        assert result.workload.store_key in text
+        assert result.best.describe() in text
+
+    def test_search_leaves_no_gm_behind(self, scan_ctx_module):
+        ctx = scan_ctx_module
+        before = ctx.device.memory.used_bytes
+        tune_workload(ctx, WorkloadKey("1d", 4096, "fp16"))
+        # constants may be newly cached (they persist by design), but no
+        # per-candidate tensors survive the sweep
+        after = ctx.device.memory.used_bytes
+        tune_workload(ctx, WorkloadKey("1d", 4096, "fp16"))
+        assert ctx.device.memory.used_bytes == after
+        assert after >= before
+
+
+class TestBatched:
+    def test_batched_sweep_contract(self, scan_ctx_module):
+        ctx = scan_ctx_module
+        workload = WorkloadKey("batched", 2048, "fp16", batch=4)
+        result = tune_workload(ctx, workload)
+        assert result.best_ns <= result.default_ns
+        assert result.outcomes[0].status == "default"
+
+
+class TestTunedPlans:
+    def test_build_plan_applies_store_entry(self, tuned_64k):
+        ctx, store, _, result = tuned_64k
+        ctx.tune_store = store
+        try:
+            plan = ctx.build_plan(n=65536, dtype="fp16", tuned=True)
+            assert plan.tuned
+            assert plan.algorithm == result.best.algorithm
+            assert plan.s == result.best.s
+            x = np.ones(65536, dtype=np.float16)
+            out = plan.execute(x)
+            np.testing.assert_array_equal(
+                out.values, np.arange(1, 65537, dtype=np.float32)
+            )
+            assert out.trace.total_ns == pytest.approx(result.best_ns)
+        finally:
+            ctx.tune_store = None
+
+    def test_build_plan_miss_falls_back_to_default(self, tuned_64k):
+        ctx, store, _, _ = tuned_64k
+        ctx.tune_store = store
+        try:
+            plan = ctx.build_plan(n=3333, dtype="fp16", tuned=True)  # miss
+            assert not plan.tuned
+            assert plan.algorithm == "scanul1"  # build_plan's own default
+        finally:
+            ctx.tune_store = None
+
+    def test_released_plan_frees_gm_and_refuses_execute(self, scan_ctx_module):
+        ctx = scan_ctx_module
+        before = ctx.device.memory.used_bytes
+        plan = ctx.build_plan(n=4096, dtype="fp16")
+        grew = ctx.device.memory.used_bytes - before
+        assert grew > 0
+        freed = plan.release()
+        assert freed > 0
+        assert ctx.device.memory.used_bytes <= before + (grew - freed)
+        assert plan.release() == 0  # idempotent
+        with pytest.raises(KernelError):
+            plan.execute(np.ones(4096, dtype=np.float16))
