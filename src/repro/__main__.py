@@ -13,6 +13,9 @@ Subcommands:
 * ``tune`` — sweep plan configurations per workload shape on the
   simulator and write the persistent tuned-plan store that the serving
   layer consults (``--smoke`` runs the CI self-check);
+* ``shard`` — shard one 1-D scan across a pool of simulated devices and
+  compare its two-stage wall clock against a single device (``--smoke``
+  runs the CI self-check);
 * ``sort`` / ``compress`` / ``topp`` — run one operator comparison.
 
 Examples::
@@ -32,7 +35,12 @@ import sys
 
 import numpy as np
 
-from .core.api import SCAN_ALGORITHMS, SCAN_STRATEGIES, ScanContext
+from .core.api import (
+    PLAN_1D_ALGORITHMS,
+    SCAN_ALGORITHMS,
+    SCAN_STRATEGIES,
+    ScanContext,
+)
 from .hw.config import ASCEND_910B4
 from .hw.traceview import render_timeline
 from .ops.driver import AscendOps
@@ -245,6 +253,138 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def _shard_smoke() -> int:
+    """CI self-check for the device-pool layer: sharded scans stay
+    bit-identical to the reference oracle on non-divisible shard sizes,
+    the pool service routes a mixed load onto every member correctly,
+    and sharding a large 1-D scan beats one device on simulated wall
+    clock."""
+    from .core.reference import exact_fp16_scan_input, inclusive_scan
+    from .shard import DevicePool, PoolScanService, ShardedScanner
+
+    rng = np.random.default_rng(0)
+    failures = []
+
+    def check(cond: bool, msg: str) -> None:
+        print(f"{'PASS' if cond else 'FAIL'}  {msg}")
+        if not cond:
+            failures.append(msg)
+
+    # 1. differential: D=3, non-divisible n, both supported dtypes
+    n = 3 * 16384 + 1000
+    scanner = ShardedScanner(DevicePool(3), algorithm="mcscan")
+    x16, expected = exact_fp16_scan_input(n, rng)
+    res = scanner.scan(x16)
+    check(
+        np.array_equal(res.values, inclusive_scan(x16))
+        and np.array_equal(res.values, expected),
+        f"fp16 sharded scan (D=3, n={n:,}) bit-identical to the oracle",
+    )
+    x8 = rng.integers(-20, 21, size=n).astype(np.int8)
+    check(
+        np.array_equal(scanner.scan(x8).values, inclusive_scan(x8)),
+        f"int8 sharded scan (D=3, n={n:,}) bit-identical to the oracle",
+    )
+    scanner.release()
+
+    # 2. pool serving: mixed load, every result correct, both members used
+    svc = PoolScanService(2)
+    inputs = {}
+    for _ in range(6):
+        x, _e = exact_fp16_scan_input(16384, rng)
+        inputs[svc.submit(x).req_id] = x
+    for _ in range(4):
+        x = rng.integers(-20, 21, size=8192).astype(np.int8)
+        inputs[svc.submit(x, algorithm="scanul1").req_id] = x
+    done = svc.flush()
+    check(
+        len(done) == len(inputs)
+        and all(
+            np.array_equal(t.result(), inclusive_scan(inputs[t.req_id]))
+            for t in done
+        ),
+        f"pool service served {len(done)} mixed requests correctly",
+    )
+    check(
+        sorted({t.device for t in done}) == [0, 1],
+        "both pool members actually served requests",
+    )
+    text = svc.summary()
+    check(
+        "dev0" in text and "dev1" in text and "makespan" in text,
+        "summary() reports per-device utilisation",
+    )
+
+    # 3. perf: sharding a 1M scan across 4 devices beats one device
+    x, _e = exact_fp16_scan_input(1 << 20, rng)
+    sharded = ShardedScanner(DevicePool(4), algorithm="mcscan")
+    single = ShardedScanner(DevicePool(1), algorithm="mcscan")
+    multi_res = sharded.scan(x)
+    single_res = single.scan(x)
+    check(
+        np.array_equal(multi_res.values, single_res.values)
+        and multi_res.wall_ns < single_res.wall_ns,
+        f"D=4 sharded 1M scan ({multi_res.time_us:.1f} us) beats one "
+        f"device ({single_res.time_us:.1f} us)",
+    )
+    sharded.release()
+    single.release()
+
+    if failures:
+        print(f"\nshard smoke: {len(failures)} check(s) failed")
+        return 1
+    print("\nshard smoke: all checks passed")
+    return 0
+
+
+def cmd_shard(args) -> int:
+    from .shard import DevicePool, ShardedScanner
+    from .tune import TuneStore
+
+    if args.smoke:
+        return _shard_smoke()
+    n = _parse_size(args.n)
+    rng = np.random.default_rng(args.seed)
+    if args.dtype == "fp16":
+        x = (rng.integers(0, 3, n) - 1).astype(np.float16)
+    else:
+        x = rng.integers(-5, 6, n).astype(np.int8)
+    store = None
+    tuned = False
+    if args.store:
+        store = TuneStore.load(args.store, ASCEND_910B4)
+        if store.invalidated:
+            print(f"note: ignoring {args.store} "
+                  f"(older schema or foreign device config)")
+            store = None
+        else:
+            tuned = True
+    scanner = ShardedScanner(
+        DevicePool(args.devices, tune_store=store),
+        algorithm=args.algorithm, s=args.s, tuned=tuned,
+    )
+    res = scanner.scan(x)
+    single = ShardedScanner(
+        DevicePool(1, tune_store=store),
+        algorithm=args.algorithm, s=args.s, tuned=tuned,
+    ).scan(x)
+    print(f"sharded {args.algorithm}(s={args.s}) over {n:,} {args.dtype} "
+          f"elements on {res.num_devices} device(s):")
+    for r in res.shards:
+        cfg = " tuned" if r.tuned else ""
+        print(f"  dev{r.device}: [{r.start:>12,}, {r.end:>12,})  "
+              f"scan {r.scan_ns / 1e3:8.1f} us  "
+              f"carry {r.carry_ns / 1e3:6.1f} us{cfg}")
+    print(f"wall clock  : {res.time_us:.1f} us "
+          f"(scan stage {res.scan_stage_ns / 1e3:.1f} us + "
+          f"carry stage {res.carry_stage_ns / 1e3:.1f} us)")
+    print(f"bandwidth   : {res.bandwidth_gbps:.1f} GB/s on logical bytes")
+    print(f"single dev  : {single.time_us:.1f} us -> "
+          f"{single.wall_ns / res.wall_ns:.2f}x speedup "
+          f"at D={res.num_devices}")
+    return 0
+
+
 def cmd_sort(args) -> int:
     n = _parse_size(args.n)
     rng = np.random.default_rng(args.seed)
@@ -358,6 +498,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI self-check: tune one small shape, assert store "
                     "round-trip and tuned <= default")
     pu.set_defaults(fn=cmd_tune)
+
+    ph = sub.add_parser(
+        "shard", help="shard one 1-D scan across a device pool"
+    )
+    ph.add_argument("-n", default="4M", help="input length (accepts K/M/G)")
+    ph.add_argument("--devices", type=int, default=4,
+                    help="pool size D (shards run concurrently)")
+    ph.add_argument("--algorithm", default="mcscan",
+                    choices=[a for a in PLAN_1D_ALGORITHMS if a != "vector"])
+    ph.add_argument("--s", type=int, default=128, choices=(16, 32, 64, 128))
+    ph.add_argument("--dtype", default="fp16", choices=("fp16", "int8"))
+    ph.add_argument("--store",
+                    help="tuned-plan store consulted for every shard plan")
+    ph.add_argument("--seed", type=int, default=0)
+    ph.add_argument("--smoke", action="store_true",
+                    help="CI self-check: bit-identical sharded results, "
+                    "pool routing correctness, D=4 beats one device")
+    ph.set_defaults(fn=cmd_shard)
 
     po = sub.add_parser("sort", help="radix sort vs torch.sort")
     po.add_argument("-n", default="1M")

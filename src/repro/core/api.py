@@ -35,12 +35,7 @@ from ..hw.datatypes import DType, as_dtype, cube_accum_dtype
 from ..hw.device import AscendDevice, TracedKernel
 from ..hw.memory import GlobalTensor
 from ..hw.trace import Trace
-from .batched import (
-    BatchedScanUKernel,
-    BatchedScanUL1Kernel,
-    batched_kernel_cls,
-    default_batched_block_dim,
-)
+from .batched import batched_kernel_cls, default_batched_block_dim
 from .copykernel import CopyKernel
 from .matrices import ScanConstants, batched_tile_rows, padded_length, upload_constants
 from .mcscan import MCScanKernel
@@ -172,6 +167,21 @@ class ScanPlan:
             freed += self.ctx.device.memory.free(t)
         self.released = True
         return freed
+
+    def time_ns(self, *, engine: str = "cached") -> float:
+        """Simulated end-to-end nanoseconds of one launch of this plan
+        (device timeline + launch overhead), without executing numerics.
+
+        This is the serve/shard layers' cost probe: the device-pool router
+        and the sharded-scan wall-clock model need launch times *before*
+        deciding where (or whether) to run, and the timeline is memoized on
+        the traced program so the probe is O(1) after the first call."""
+        if self.released:
+            raise KernelError(
+                f"plan for {self.algorithm} (padded={self.padded}) has been "
+                f"released; its device tensors are gone — build a new plan"
+            )
+        return self.ctx.device.time_traced(self.traced, engine=engine)
 
     @property
     def timeline_hits(self) -> int:

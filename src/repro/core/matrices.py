@@ -18,6 +18,7 @@ role for a simulated device.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -32,6 +33,7 @@ __all__ = [
     "strict_lower_ones",
     "all_ones",
     "ScanConstants",
+    "host_constant_matrices",
     "upload_constants",
     "batched_tile_rows",
     "tile_count",
@@ -104,6 +106,27 @@ class ScanConstants:
         return self.rows * self.s
 
 
+@lru_cache(maxsize=None)
+def host_constant_matrices(
+    s: int, rows: int, dtype_name: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Host-side ``(U_s, L_rows^-, 1_s)`` as flat read-only arrays.
+
+    Memoized at module level: every device in a :class:`repro.shard.DevicePool`
+    uploads its own GM copies, but the NumPy materialisation happens once per
+    ``(s, rows, dtype)`` for the whole process.  The arrays are frozen so a
+    caller cannot mutate the shared cache entries; :meth:`GlobalTensor.write`
+    copies on upload.
+    """
+    np_dt = as_dtype(dtype_name).np_dtype
+    u = upper_ones(s, np_dt).reshape(-1)
+    sl = strict_lower_ones(rows, np_dt).reshape(-1)
+    ones = all_ones(s, np_dt).reshape(-1)
+    for arr in (u, sl, ones):
+        arr.setflags(write=False)
+    return u, sl, ones
+
+
 def upload_constants(
     device: AscendDevice,
     s: int,
@@ -120,13 +143,13 @@ def upload_constants(
     dt = as_dtype(dtype)
     if not dt.cube_input:
         raise KernelError(f"scan constants must be a cube input dtype, not {dt.name}")
-    np_dt = dt.np_dtype
+    host_u, host_sl, host_ones = host_constant_matrices(s, rows, dt.name)
     u = device.alloc(f"const_U{s}_{dt.name}", (s * s,), dt)
-    u.write(upper_ones(s, np_dt).reshape(-1))
+    u.write(host_u)
     sl = device.alloc(f"const_Lm{rows}_{dt.name}", (rows * rows,), dt)
-    sl.write(strict_lower_ones(rows, np_dt).reshape(-1))
+    sl.write(host_sl)
     ones = device.alloc(f"const_1{s}_{dt.name}", (s * s,), dt)
-    ones.write(all_ones(s, np_dt).reshape(-1))
+    ones.write(host_ones)
     return ScanConstants(s=s, rows=rows, dtype=dt, u=u, strict_lower=sl, ones=ones)
 
 

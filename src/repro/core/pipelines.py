@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import KernelError, ShapeError
+from ..errors import ShapeError
 from ..hw.datatypes import DType, cube_accum_dtype
-from ..hw.memory import GlobalSlice, GlobalTensor
+from ..hw.memory import GlobalSlice
 from ..lang import intrinsics as I
 from ..lang.context import KernelContext
 from ..lang.tensor import BufferKind

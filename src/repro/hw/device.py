@@ -28,7 +28,7 @@ from ..errors import KernelError, SchedulerError
 from .cache import L2Cache
 from .compiled import CompiledProgram, assert_timelines_equal
 from .config import ASCEND_910B4, DeviceConfig
-from .isa import CUBE_ENGINES, VECTOR_ENGINES, CostModel, EngineKind, Op
+from .isa import CUBE_ENGINES, VECTOR_ENGINES, CostModel, Op
 from .memory import GlobalMemory, GlobalSlice, GlobalTensor
 from .scheduler import Program, Timeline, simulate
 from .trace import EngineInfo, Trace
@@ -306,10 +306,14 @@ class AscendDevice:
         self,
         config: DeviceConfig = ASCEND_910B4,
         *,
+        name: "str | None" = None,
         audit_hazards: bool = False,
         audit_timing: bool = False,
     ):
         self.config = config
+        #: instance label — device pools (repro.shard) run several devices
+        #: of the same config, so traces and stats need a per-device name
+        self.name = name if name is not None else config.name
         #: when True, every emitted op logs its data accesses (HazardAccess)
         #: so tests can independently verify synchronization coverage
         self.audit_hazards = audit_hazards

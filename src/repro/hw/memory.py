@@ -187,9 +187,16 @@ class GlobalMemory:
       hole list that :meth:`alloc` reuses first-fit (adjacent holes are
       coalesced, and holes at the frontier shrink it).  This is what lets
       the serve layer's plan cache evict cold plans instead of pinning GM
-      forever.  Freeing a tensor allocated *before* an outstanding mark
-      while the mark is live is unsupported (the subsequent ``release``
-      detects the count mismatch and raises).
+      forever.  Freeing a tensor allocated *before* an outstanding mark is
+      unsupported and raises immediately: removing it would shift the
+      indices the mark snapshotted, and the later ``release`` would then
+      silently drop the wrong tensors.
+
+    :meth:`free` diagnoses its failure modes distinctly — double free,
+    free of a mark-released handle, free of a view, free of a foreign
+    tensor — and raises :class:`~repro.errors.AllocationError` *before*
+    mutating any allocator state, so a rejected free never corrupts the
+    hole list.
     """
 
     #: allocations are aligned to 512 bytes, matching DMA burst alignment
@@ -202,6 +209,12 @@ class GlobalMemory:
         self._tensors: list[GlobalTensor] = []
         #: freed [addr, addr+size) intervals below the frontier, by address
         self._holes: list[tuple[int, int]] = []
+        #: tensor ids retired via free() / release(), for precise errors
+        self._freed_ids: set[int] = set()
+        self._released_ids: set[int] = set()
+        #: outstanding mark() snapshots (LIFO), so free() can refuse
+        #: index-shifting frees instead of corrupting a later release()
+        self._live_marks: list[tuple[int, int]] = []
 
     @property
     def used_bytes(self) -> int:
@@ -250,19 +263,51 @@ class GlobalMemory:
         """Return one allocation's bytes to the hole list; returns the
         number of bytes freed.  The handle (and any view of it) becomes
         invalid.  Only tensors returned by :meth:`alloc` can be freed —
-        prefix views share their parent's storage and are rejected."""
+        prefix views share their parent's storage and are rejected.
+
+        Every rejection raises before any allocator state changes."""
+        index = None
         for i, t in enumerate(self._tensors):
             if t is tensor:
-                del self._tensors[i]
+                index = i
                 break
-        else:
+        if index is None:
+            raise AllocationError(self._diagnose_bad_free(tensor))
+        if any(index < count for _addr, count in self._live_marks):
             raise AllocationError(
-                f"free() of {tensor.name!r}: not an active allocation "
-                f"(already freed, released, or a view)"
+                f"free() of {tensor.name!r}: cannot free an allocation made "
+                f"before an outstanding mark() — it would shift the indices "
+                f"the mark snapshotted and corrupt the pending release(); "
+                f"free it after the mark is released"
             )
+        del self._tensors[index]
+        self._freed_ids.add(tensor.tensor_id)
         aligned = self._aligned(tensor.nbytes)
         self._insert_hole(tensor.base_addr, aligned)
         return aligned
+
+    def _diagnose_bad_free(self, tensor: GlobalTensor) -> str:
+        """Explain why ``tensor`` is not an active allocation."""
+        if any(t.tensor_id == tensor.tensor_id for t in self._tensors):
+            return (
+                f"free() of {tensor.name!r}: not an active allocation — it "
+                f"is a view sharing storage with a live tensor; free the "
+                f"parent handle returned by alloc() instead"
+            )
+        if tensor.tensor_id in self._freed_ids:
+            return (
+                f"free() of {tensor.name!r}: not an active allocation — "
+                f"already freed (double free)"
+            )
+        if tensor.tensor_id in self._released_ids:
+            return (
+                f"free() of {tensor.name!r}: not an active allocation — it "
+                f"was dropped by a mark/release scope"
+            )
+        return (
+            f"free() of {tensor.name!r}: not an active allocation in this "
+            f"GlobalMemory (foreign tensor, or allocator was reset)"
+        )
 
     def _insert_hole(self, addr: int, size: int) -> None:
         """Insert [addr, addr+size), coalescing neighbours and the frontier."""
@@ -292,10 +337,17 @@ class GlobalMemory:
         self._next_addr = 0
         self._tensors.clear()
         self._holes.clear()
+        self._freed_ids.clear()
+        self._released_ids.clear()
+        self._live_marks.clear()
 
     def mark(self) -> tuple[int, int]:
-        """Snapshot the allocator state (stack discipline)."""
-        return (self._next_addr, len(self._tensors))
+        """Snapshot the allocator state (stack discipline).  The snapshot
+        stays registered as *outstanding* until :meth:`release`, which lets
+        :meth:`free` refuse frees that would invalidate it."""
+        snapshot = (self._next_addr, len(self._tensors))
+        self._live_marks.append(snapshot)
+        return snapshot
 
     def release(self, mark: tuple[int, int]) -> None:
         """Free every allocation made since ``mark`` (their handles become
@@ -304,6 +356,13 @@ class GlobalMemory:
         addr, count = mark
         if addr > self._next_addr or count > len(self._tensors):
             raise AllocationError("release() with a stale or foreign mark")
+        # releasing a mark also retires any marks nested inside it (LIFO)
+        for i in range(len(self._live_marks) - 1, -1, -1):
+            if self._live_marks[i] == mark:
+                del self._live_marks[i:]
+                break
+        else:
+            raise AllocationError("release() with a stale or foreign mark")
         dropped = self._tensors[count:]
         del self._tensors[count:]
         self._next_addr = addr
@@ -311,5 +370,6 @@ class GlobalMemory:
         # allocations that reused a pre-mark hole live below the restored
         # frontier; re-open their holes instead of leaking them
         for t in dropped:
+            self._released_ids.add(t.tensor_id)
             if t.base_addr < addr:
                 self._insert_hole(t.base_addr, self._aligned(t.nbytes))

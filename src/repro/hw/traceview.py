@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from .isa import EngineKind
 from .trace import Trace
 
 __all__ = ["render_timeline", "KIND_GLYPHS"]

@@ -22,9 +22,7 @@ from ..hw.config import ASCEND_910B4, DeviceConfig
 from ..hw.datatypes import DType, as_dtype
 from ..hw.memory import GlobalTensor
 from ..core.api import ScanContext
-from ..core.copykernel import CopyKernel
 from ..core.matrices import padded_length
-from ..core.vector_baseline import CumSumKernel
 from ..core.mcscan import MCScanKernel
 from .compress import CompressKernel, MaskedSelectBaselineKernel
 from .elementwise import ElementwiseMapKernel, PredicateCountKernel, RangeCopyKernel

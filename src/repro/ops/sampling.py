@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import KernelError, ShapeError
+from ..errors import KernelError
 from ..hw.memory import GlobalTensor
 from ..lang import intrinsics as I
 from ..lang.kernel import Kernel

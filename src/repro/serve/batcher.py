@@ -67,6 +67,16 @@ class LaunchGroup:
     #: bucket row capacity of the batched launch (0 for fallbacks)
     bucket: int = 0
 
+    @property
+    def padded_elements(self) -> int:
+        """Padded element count the group's launches will move — the cost
+        proxy the device-pool router sorts by (LPT: heaviest group first).
+        Batched groups launch ``bucket`` rows once; fallback groups launch
+        once per request."""
+        if self.batched:
+            return self.key.padded * self.bucket
+        return self.key.padded * len(self.requests)
+
 
 class RequestBatcher:
     """Accumulates requests and partitions them into launch groups."""

@@ -15,7 +15,7 @@ the steady state is functional compute + scheduling only.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -56,6 +56,8 @@ class ScanTicket:
     tuned: bool = False
     #: explicit block_dim the tuned config requested (None = heuristic)
     block_dim: "int | None" = None
+    #: pool member index that served the request (None outside device pools)
+    device: "int | None" = None
 
     def result(self) -> np.ndarray:
         if not self.done:
@@ -102,22 +104,19 @@ class ScanService:
 
     # -- submission ---------------------------------------------------------
 
-    def submit(
+    def _prepare(
         self,
         x: np.ndarray,
         *,
         algorithm: "str | None" = None,
         s: "int | None" = None,
         exclusive: bool = False,
-    ) -> ScanTicket:
-        """Enqueue one 1-D scan; returns an unfilled ticket.
-
-        ``algorithm``/``s`` of None mean *let the service decide*: with a
-        tuned-plan store attached, the workload is looked up there and a
-        hit supplies algorithm, tile size and block_dim; otherwise (and
-        for explicit arguments, which always win) the heuristic default
-        ``scanu``/``s=128`` applies.
-        """
+        req_id: "int | None" = None,
+    ) -> "tuple[ScanRequest, ScanTicket]":
+        """Validate one submission and materialise its request + ticket
+        without enqueueing — the routing seam the device-pool front end
+        (:class:`repro.shard.PoolScanService`) uses to build tickets
+        centrally and hand the request to whichever member it picks."""
         x = np.asarray(x)
         if x.ndim != 1:
             raise ShapeError(f"submit expects a 1-D array, got shape {x.shape}")
@@ -143,8 +142,9 @@ class ScanService:
         self.cache.key_1d(
             algorithm, x.size, dt, s=s, exclusive=exclusive, block_dim=block_dim
         )
-        req_id = self._next_id
-        self._next_id += 1
+        if req_id is None:
+            req_id = self._next_id
+            self._next_id += 1
         req = ScanRequest(
             req_id=req_id,
             x=x,
@@ -165,9 +165,35 @@ class ScanService:
             tuned=tuned,
             block_dim=block_dim,
         )
-        self._tickets[req_id] = ticket
-        self.batcher.add(req)
+        return req, ticket
+
+    def submit(
+        self,
+        x: np.ndarray,
+        *,
+        algorithm: "str | None" = None,
+        s: "int | None" = None,
+        exclusive: bool = False,
+    ) -> ScanTicket:
+        """Enqueue one 1-D scan; returns an unfilled ticket.
+
+        ``algorithm``/``s`` of None mean *let the service decide*: with a
+        tuned-plan store attached, the workload is looked up there and a
+        hit supplies algorithm, tile size and block_dim; otherwise (and
+        for explicit arguments, which always win) the heuristic default
+        ``scanu``/``s=128`` applies.
+        """
+        req, ticket = self._prepare(
+            x, algorithm=algorithm, s=s, exclusive=exclusive
+        )
+        self.enqueue(req, ticket)
         return ticket
+
+    def enqueue(self, req: ScanRequest, ticket: ScanTicket) -> None:
+        """Accept an already-prepared request/ticket pair (used directly by
+        the pool front end after routing; ``submit`` is prepare + enqueue)."""
+        self._tickets[req.req_id] = ticket
+        self.batcher.add(req)
 
     def scan(self, x: np.ndarray, **kwargs) -> ScanTicket:
         """Convenience: submit one request and flush immediately."""

@@ -1,0 +1,40 @@
+"""Multi-device sharding: the third level of the scan hierarchy.
+
+The paper's MCScan composes two levels — cube ``s``-tile scans inside a
+core, then a block-reduction array ``r`` across cores.  This package adds
+a **device** level above both, exactly the recursion LightScan applies
+across processors: partition the input over a :class:`DevicePool` of
+independently-timed simulated 910Bs, run each shard's (tuned) 1-D plan
+locally, exclusive-scan the per-device totals on the host, and propagate
+each device's carry with a lightweight ``Adds`` streaming pass — the same
+shape as MCScan's phase II, one level up.
+
+Two execution paths are offered:
+
+* :class:`ShardedScanner` — one large scan, latency-bound: simulated
+  wall-clock is the max over device timelines plus the carry pass;
+* :class:`PoolScanService` — many independent requests, throughput-bound:
+  a pool front end routes launch groups onto the least-loaded member
+  (longest-processing-time first), with per-device plan caches sharing
+  one tuned-plan store.
+"""
+
+from .pool import DevicePool
+from .scan import (
+    CarryAddKernel,
+    ShardedScanner,
+    ShardedScanResult,
+    ShardRecord,
+    shard_ranges,
+)
+from .service import PoolScanService
+
+__all__ = [
+    "CarryAddKernel",
+    "DevicePool",
+    "PoolScanService",
+    "ShardRecord",
+    "ShardedScanResult",
+    "ShardedScanner",
+    "shard_ranges",
+]

@@ -1,0 +1,72 @@
+"""A pool of independently-timed simulated devices.
+
+Each member owns its full device state — global memory, L2, engine table,
+timeline caches — so launches on different members model genuinely
+concurrent hardware: nothing is shared device-side, and per-member
+simulated times can be max-reduced (sharded scan) or load-balanced
+(pool serving) without cross-talk.
+
+What members *do* share is host-side: the module-level constant-matrix
+cache (:func:`repro.core.matrices.host_constant_matrices`) and, when given
+one, a single tuned-plan store — the sweep cost of tuning a workload is
+paid once for the whole pool, not once per device.
+"""
+
+from __future__ import annotations
+
+from ..core.api import ScanContext
+from ..errors import ConfigError
+from ..hw.config import ASCEND_910B4, DeviceConfig
+from ..hw.device import AscendDevice
+
+__all__ = ["DevicePool"]
+
+
+class DevicePool:
+    """``num_devices`` simulated devices, one :class:`ScanContext` each."""
+
+    def __init__(
+        self,
+        num_devices: int,
+        config: DeviceConfig = ASCEND_910B4,
+        *,
+        tune_store=None,
+        warm_inputs: bool = True,
+    ):
+        if (
+            not isinstance(num_devices, int)
+            or isinstance(num_devices, bool)
+            or num_devices < 1
+        ):
+            raise ConfigError(
+                f"a device pool needs a positive device count, got {num_devices!r}"
+            )
+        self.config = config
+        self.devices = [
+            AscendDevice(config, name=f"dev{i}") for i in range(num_devices)
+        ]
+        self.contexts = [
+            ScanContext(config, device=d, warm_inputs=warm_inputs)
+            for d in self.devices
+        ]
+        #: tuned-plan store shared by every member (may be None)
+        self.tune_store = tune_store
+        if tune_store is not None:
+            for ctx in self.contexts:
+                ctx.tune_store = tune_store
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.contexts)
+
+    def __getitem__(self, index: int) -> ScanContext:
+        return self.contexts[index]
+
+    def gm_used_bytes(self) -> "list[int]":
+        """Per-member HBM bytes currently allocated (plans, constants)."""
+        return [d.memory.used_bytes for d in self.devices]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DevicePool({len(self)} x {self.config.name})"

@@ -1,0 +1,348 @@
+"""Sharded 1-D scan: MCScan's recursion applied across devices.
+
+The single-device hierarchy is *tile* (cube scan of an ``s``-tile inside a
+core) then *block* (the ``r`` reduction array across cores).  Sharding
+adds *device*: partition the input contiguously over the pool, scan each
+shard with its own (tuned) 1-D plan, exclusive-scan the per-device totals
+on the host — the D-element analogue of MCScan's phase-II ``r`` prefix —
+and add each device's carry to its whole shard with a streaming
+:class:`CarryAddKernel` (an ``Adds`` pass with the same shape as MCScan's
+phase-II propagation, one level up).
+
+Timing model: the scan stage runs concurrently on all members, the host
+combine is an untimed barrier (D scalar adds), and the carry stage runs
+concurrently on members 1..D-1.  Simulated wall-clock is therefore
+``max(scan stage) + max(carry stage)``.
+
+Numerics: shard-local scans and the carry chain both run in the cube
+accumulator dtype (fp32 / int32), so for int8 inputs — and for fp16
+inputs whose partial sums are exactly representable, e.g.
+:func:`repro.core.reference.exact_fp16_scan_input` — the sharded result
+is bit-identical to the single-device oracle regardless of D or shard
+boundaries (integer addition is associative; rounding never enters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.api import PLAN_1D_ALGORITHMS, ScanPlan
+from ..errors import KernelError, ShapeError
+from ..hw.memory import GlobalTensor
+from ..lang import intrinsics as I
+from ..lang.kernel import Kernel
+from ..lang.tensor import BufferKind
+from .pool import DevicePool
+
+__all__ = [
+    "shard_ranges",
+    "CarryAddKernel",
+    "ShardRecord",
+    "ShardedScanResult",
+    "ShardedScanner",
+]
+
+#: UB tile of the carry pass: 8K elements (32 KB of fp32) double-buffered
+CARRY_TILE_ELEMENTS = 8192
+
+
+def shard_ranges(
+    n: int, num_shards: int, unit: int
+) -> "list[tuple[int, int]]":
+    """Contiguous, balanced ``[start, end)`` shards of ``[0, n)``.
+
+    Every shard boundary except the final ``n`` is aligned to ``unit``
+    (the plan pad granularity, ``s*s`` for the cube kernels), so interior
+    shards need no padding and only the tail shard pads up.  Work is
+    balanced at unit granularity — shard sizes differ by at most one unit.
+    Fewer than ``num_shards`` ranges come back when ``n`` has too few
+    units to give every shard one (empty shards are dropped, mirroring how
+    MCScan idles surplus cores past the tile count).
+    """
+    if n <= 0:
+        raise ShapeError(f"input length must be positive, got {n}")
+    if num_shards < 1:
+        raise ShapeError(f"shard count must be >= 1, got {num_shards}")
+    if unit < 1:
+        raise ShapeError(f"shard unit must be >= 1, got {unit}")
+    n_units = -(-n // unit)
+    shards = min(num_shards, n_units)
+    q, r = divmod(n_units, shards)
+    ranges: list[tuple[int, int]] = []
+    start_unit = 0
+    for d in range(shards):
+        units = q + (1 if d < r else 0)
+        end_unit = start_unit + units
+        start = start_unit * unit
+        end = min(end_unit * unit, n)
+        ranges.append((start, end))
+        start_unit = end_unit
+    return ranges
+
+
+class CarryAddKernel(Kernel):
+    """In-place ``y += carry`` over one device's shard output.
+
+    Vector-only streaming pass: each participating vector core pulls
+    tile-aligned chunks of ``y`` through a double-buffered UB queue, adds
+    the scalar carry, and writes back — byte-for-byte the access pattern
+    of MCScan's phase-II ``Adds`` propagation, applied to a whole shard.
+    The op DAG is value-independent, so the scanner traces it once per
+    plan with ``carry=0.0`` (a functional no-op) and replays it for
+    timing; the real carry is applied host-side in the accumulator dtype.
+    """
+
+    mode = "vec"
+
+    def __init__(
+        self,
+        y: GlobalTensor,
+        carry: float,
+        block_dim: int,
+        tile_elements: int = CARRY_TILE_ELEMENTS,
+    ):
+        super().__init__(block_dim=block_dim)
+        self.y = y
+        self.carry = carry
+        self.tile_elements = tile_elements
+
+    def run(self, ctx) -> None:
+        n = self.y.num_elements
+        n_tiles = -(-n // self.tile_elements)
+        tiles_per_block = -(-n_tiles // self.block_dim)
+        per_block = tiles_per_block * self.tile_elements
+        start = ctx.block_idx * per_block
+        end = min(start + per_block, n)
+        if start >= end:
+            return
+        pipe = ctx.make_pipe(ctx.vec_core(0))
+        ub = pipe.init_buffer(
+            buffer=BufferKind.UB,
+            depth=2,
+            slot_bytes=self.tile_elements * self.y.dtype.itemsize,
+        )
+        off = start
+        while off < end:
+            ln = min(self.tile_elements, end - off)
+            tile = ub.alloc_tensor(self.y.dtype, ln)
+            I.data_copy(ctx, tile, self.y.slice(off, ln), label="carry in")
+            ub.enque(tile)
+            tile = ub.deque()
+            I.adds(ctx, tile, tile, self.carry, label="carry Adds")
+            I.data_copy(ctx, self.y.slice(off, ln), tile, label="carry out")
+            ub.free_tensor(tile)
+            off += ln
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One device's part of a sharded scan."""
+
+    device: int
+    start: int
+    end: int
+    #: padded length of the shard's plan
+    padded: int
+    #: simulated ns of the shard's local scan launch
+    scan_ns: float
+    #: simulated ns of the shard's carry pass (0.0 for device 0)
+    carry_ns: float
+    #: True when the shard plan came from the scanner's memo, not a build
+    plan_hit: bool
+    #: True when the shard plan's config came from the tuned-plan store
+    tuned: bool
+
+    @property
+    def n(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ShardedScanResult:
+    """Numerical output plus the two-stage timing of one sharded scan."""
+
+    values: np.ndarray
+    shards: "list[ShardRecord]"
+    #: max over device scan launches (they run concurrently)
+    scan_stage_ns: float
+    #: max over device carry launches (devices 1..D-1, concurrent)
+    carry_stage_ns: float
+    n_elements: int
+    #: logical input read + output written, the paper's bandwidth basis
+    io_bytes: int
+
+    @property
+    def wall_ns(self) -> float:
+        """Simulated wall-clock: concurrent scans, host barrier, then
+        concurrent carry passes."""
+        return self.scan_stage_ns + self.carry_stage_ns
+
+    @property
+    def time_us(self) -> float:
+        return self.wall_ns / 1e3
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.io_bytes / self.wall_ns if self.wall_ns else 0.0
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.shards)
+
+
+class ShardedScanner:
+    """Reusable sharded-scan front end over a :class:`DevicePool`.
+
+    Shard plans (and their carry-pass traces) are memoized per
+    ``(device, padded length, dtype)``, so repeated scans of recurring
+    shapes pay Python-level tracing once — the same plan-reuse discipline
+    as :class:`~repro.serve.plan.PlanCache`, held per pool member.
+    """
+
+    def __init__(
+        self,
+        pool: DevicePool,
+        *,
+        algorithm: str = "mcscan",
+        s: int = 128,
+        tuned: bool = False,
+        validate: bool = True,
+    ):
+        if algorithm not in PLAN_1D_ALGORITHMS or algorithm == "vector":
+            raise KernelError(
+                f"sharded scan needs a cube 1-D algorithm (accumulator-dtype "
+                f"output), got {algorithm!r}"
+            )
+        self.pool = pool
+        self.algorithm = algorithm
+        self.s = s
+        self.tuned = tuned
+        self.validate = validate
+        #: (device index, shard length, dtype name) -> (plan, carry trace)
+        self._plans: dict = {}
+        self.plans_built = 0
+
+    # -- plan/carry memo -----------------------------------------------------
+
+    def _shard_plan(
+        self, device_idx: int, length: int, dtype
+    ) -> "tuple[ScanPlan, object, bool]":
+        ctx = self.pool[device_idx]
+        dt = ctx._as_plan_dtype(dtype)
+        key = (device_idx, length, dt.name)
+        entry = self._plans.get(key)
+        if entry is not None:
+            return entry[0], entry[1], True
+        plan = ctx.build_plan(
+            algorithm=self.algorithm,
+            n=length,
+            dtype=dt,
+            s=self.s,
+            tuned=self.tuned,
+            validate=self.validate,
+        )
+        if plan.out_dtype.name == plan.in_dtype.name:
+            # a tuned-store hit handed back the vector baseline, whose
+            # input-dtype output cannot carry-chain exactly; fall back to
+            # the scanner's explicit cube algorithm for this shard
+            plan.release()
+            plan = ctx.build_plan(
+                algorithm=self.algorithm,
+                n=length,
+                dtype=dt,
+                s=self.s,
+                tuned=False,
+                validate=self.validate,
+            )
+        device = ctx.device
+        bd = min(
+            ctx.config.num_vector_cores,
+            max(1, -(-plan.padded // CARRY_TILE_ELEMENTS)),
+        )
+        carry_traced = device.trace_kernel(
+            CarryAddKernel(plan.y_gm, 0.0, bd),
+            label=f"shard carry(n={plan.padded})",
+        )
+        self._plans[key] = (plan, carry_traced)
+        self.plans_built += 1
+        return plan, carry_traced, False
+
+    # -- execution -----------------------------------------------------------
+
+    def scan(self, x: np.ndarray) -> ShardedScanResult:
+        """Inclusive scan of ``x`` sharded across the whole pool."""
+        x = np.asarray(x)
+        if x.ndim != 1:
+            raise ShapeError(
+                f"sharded scan expects a 1-D array, got shape {x.shape}"
+            )
+        if x.size == 0:
+            raise ShapeError("sharded scan expects a non-empty array")
+        dt = self.pool[0]._as_plan_dtype(x.dtype)
+        ranges = shard_ranges(x.size, len(self.pool), self.s * self.s)
+
+        # stage 1: every device scans its shard concurrently
+        shard_values: list[np.ndarray] = []
+        shard_plans: list[tuple] = []
+        scan_ns: list[float] = []
+        for d, (start, end) in enumerate(ranges):
+            plan, carry_traced, hit = self._shard_plan(d, end - start, dt)
+            result = plan.execute(x[start:end])
+            shard_values.append(result.values)
+            shard_plans.append((plan, carry_traced, hit))
+            scan_ns.append(result.trace.total_ns)
+
+        # host barrier: exclusive-scan the D shard totals (accumulator
+        # dtype, untimed — D scalar adds on the host, as LightScan's
+        # inter-processor combine is negligible next to the shards)
+        out_np = shard_values[0].dtype
+        carries = [out_np.type(0)]
+        for vals in shard_values[:-1]:
+            carries.append(out_np.type(carries[-1] + vals[-1]))
+
+        # stage 2: devices 1..D-1 stream their carry over the shard; the
+        # functional add happens host-side in the accumulator dtype (the
+        # traced kernel is value-independent, so it replays for timing)
+        carry_ns: list[float] = [0.0]
+        for d in range(1, len(ranges)):
+            plan, carry_traced, _hit = shard_plans[d]
+            device = self.pool[d].device
+            trace = device.replay(carry_traced)
+            carry_ns.append(trace.total_ns)
+            shard_values[d] += carries[d]
+
+        values = np.concatenate(shard_values)
+        records = [
+            ShardRecord(
+                device=d,
+                start=start,
+                end=end,
+                padded=shard_plans[d][0].padded,
+                scan_ns=scan_ns[d],
+                carry_ns=carry_ns[d],
+                plan_hit=shard_plans[d][2],
+                tuned=shard_plans[d][0].tuned,
+            )
+            for d, (start, end) in enumerate(ranges)
+        ]
+        n = x.size
+        io = n * (dt.itemsize + values.dtype.itemsize)
+        return ShardedScanResult(
+            values=values,
+            shards=records,
+            scan_stage_ns=max(scan_ns),
+            carry_stage_ns=max(carry_ns[1:], default=0.0),
+            n_elements=n,
+            io_bytes=io,
+        )
+
+    def release(self) -> int:
+        """Free every memoized shard plan's GM tensors; returns the bytes
+        returned across the pool."""
+        freed = 0
+        for plan, _carry in self._plans.values():
+            freed += plan.release()
+        self._plans.clear()
+        return freed

@@ -1,0 +1,198 @@
+"""Device-pool request serving: least-loaded routing over pool members.
+
+:class:`PoolScanService` is the multi-device front end to the serve
+layer: one shared :class:`~repro.serve.batcher.RequestBatcher` coalesces
+submissions exactly as a single :class:`~repro.serve.service.ScanService`
+would (launch groups are shape classes, so grouping is device-agnostic),
+then ``flush`` routes whole groups onto pool members **longest-processing-
+time first**: groups are ordered by padded element count descending and
+each is placed on the member with the least accumulated simulated busy
+time.  LPT keeps the makespan within 4/3 of optimal, and placing whole
+groups preserves every batching win the single-device layer earned.
+
+Each member runs its own :class:`ScanService` — per-device plan cache,
+per-device stats — while all of them share one tuned-plan store, so a
+workload tuned once serves the whole pool.  Aggregate throughput is
+total logical elements over the pool **makespan** (the busiest member's
+simulated time): members run concurrently, so that is the simulated
+wall-clock of the whole mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.config import ASCEND_910B4, DeviceConfig
+from ..serve.batcher import RequestBatcher
+from ..serve.service import ScanService, ScanTicket
+from .pool import DevicePool
+
+__all__ = ["PoolScanService"]
+
+
+class PoolScanService:
+    """Pooled ``submit``/``flush`` façade with least-loaded group routing."""
+
+    def __init__(
+        self,
+        num_devices: int = 2,
+        *,
+        config: DeviceConfig = ASCEND_910B4,
+        pool: "DevicePool | None" = None,
+        tune_store=None,
+        max_batch: int = 64,
+        min_group: int = 2,
+        batching: bool = True,
+        validate_plans: bool = True,
+        gm_budget: "int | None" = None,
+    ):
+        self.pool = (
+            pool
+            if pool is not None
+            else DevicePool(num_devices, config, tune_store=tune_store)
+        )
+        self.tune_store = (
+            tune_store if tune_store is not None else self.pool.tune_store
+        )
+        self.workers = [
+            ScanService(
+                ctx,
+                max_batch=max_batch,
+                min_group=min_group,
+                batching=batching,
+                validate_plans=validate_plans,
+                gm_budget=gm_budget,
+                tune_store=self.tune_store,
+            )
+            for ctx in self.pool
+        ]
+        # the shared batcher only needs a cache for key construction, and
+        # plan keys are shape classes — device-independent by design
+        self.batcher = RequestBatcher(
+            self.workers[0].cache,
+            max_batch=max_batch,
+            min_group=min_group if batching else (1 << 62),
+        )
+        #: accumulated simulated busy ns per member (the routing load)
+        self.busy_ns = [0.0] * len(self.workers)
+        #: launch groups routed to each member
+        self.groups_routed = [0] * len(self.workers)
+        self._tickets: dict[int, ScanTicket] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        x: np.ndarray,
+        *,
+        algorithm: "str | None" = None,
+        s: "int | None" = None,
+        exclusive: bool = False,
+    ) -> ScanTicket:
+        """Enqueue one 1-D scan on the pool; the serving device is chosen
+        at ``flush`` time (the ticket's ``device`` field records it)."""
+        req_id = self._next_id
+        self._next_id += 1
+        req, ticket = self.workers[0]._prepare(
+            x, algorithm=algorithm, s=s, exclusive=exclusive, req_id=req_id
+        )
+        self._tickets[req_id] = ticket
+        self.batcher.add(req)
+        return ticket
+
+    def scan(self, x: np.ndarray, **kwargs) -> ScanTicket:
+        """Convenience: submit one request and flush immediately."""
+        ticket = self.submit(x, **kwargs)
+        self.flush()
+        return ticket
+
+    @property
+    def pending(self) -> int:
+        return len(self.batcher)
+
+    # -- execution -----------------------------------------------------------
+
+    def _least_loaded(self) -> int:
+        return min(range(len(self.workers)), key=lambda i: self.busy_ns[i])
+
+    def flush(self) -> "list[ScanTicket]":
+        """Route every queued launch group and serve it; returns tickets in
+        submit order."""
+        groups = self.batcher.drain()
+        # LPT: heaviest groups place first, onto the least-busy member
+        groups.sort(key=lambda g: g.padded_elements, reverse=True)
+        completed: list[ScanTicket] = []
+        for group in groups:
+            target = self._least_loaded()
+            worker = self.workers[target]
+            for req in group.requests:
+                ticket = self._tickets.pop(req.req_id)
+                ticket.device = target
+                worker.enqueue(req, ticket)
+            before = worker.stats.device_ns
+            completed.extend(worker.flush())
+            self.busy_ns[target] += worker.stats.device_ns - before
+            self.groups_routed[target] += 1
+        completed.sort(key=lambda t: t.req_id)
+        return completed
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def makespan_ns(self) -> float:
+        """Simulated wall-clock of everything served so far: members run
+        concurrently, so the busiest one bounds the pool."""
+        return max(self.busy_ns) if self.busy_ns else 0.0
+
+    @property
+    def total_elements(self) -> int:
+        return sum(w.stats.n_elements for w in self.workers)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(w.stats.requests for w in self.workers)
+
+    @property
+    def throughput_gelems(self) -> float:
+        """Aggregate pool throughput: logical elements over the makespan."""
+        span = self.makespan_ns
+        return self.total_elements / span if span else 0.0
+
+    def device_utilisation(self) -> "list[float]":
+        """Per-member busy fraction of the pool makespan (1.0 = critical
+        path; low values = idle capacity the router could not fill)."""
+        span = self.makespan_ns
+        if not span:
+            return [0.0] * len(self.workers)
+        return [b / span for b in self.busy_ns]
+
+    def summary(self) -> str:
+        lines = [
+            f"device pool     : {len(self.workers)} x "
+            f"{self.pool.config.name}",
+            f"aggregate       : {self.total_requests} requests, "
+            f"{self.total_elements / 1e6:.2f} M elements, "
+            f"makespan {self.makespan_ns / 1e3:.1f} us, "
+            f"{self.throughput_gelems:.1f} GElems/s",
+        ]
+        util = self.device_utilisation()
+        for i, worker in enumerate(self.workers):
+            cache = worker.cache.stats()
+            lines.append(
+                f"  dev{i}          : busy {self.busy_ns[i] / 1e3:.1f} us "
+                f"({util[i]:.0%} of makespan), "
+                f"{worker.stats.requests} requests / "
+                f"{self.groups_routed[i]} groups, "
+                f"{cache['plans']} plans, "
+                f"{cache['gm_bytes'] / 1e6:.1f} MB GM"
+            )
+        if self.tune_store is not None:
+            lines.append(
+                f"tuned store     : {len(self.tune_store)} entries "
+                f"(shared across all {len(self.workers)} members)"
+            )
+        return "\n".join(lines)

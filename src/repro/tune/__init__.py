@@ -24,7 +24,13 @@ from .space import (
     enumerate_candidates,
 )
 from .store import STORE_VERSION, TunedEntry, TuneStore, config_fingerprint
-from .tuner import CandidateOutcome, TuneResult, format_result, tune_workload
+from .tuner import (
+    CandidateOutcome,
+    TuneResult,
+    ensure_tuned,
+    format_result,
+    tune_workload,
+)
 
 __all__ = [
     "SWEEP_S",
@@ -39,6 +45,7 @@ __all__ = [
     "candidate_floor_ns",
     "config_fingerprint",
     "default_candidate",
+    "ensure_tuned",
     "enumerate_candidates",
     "evaluate_candidate",
     "format_result",

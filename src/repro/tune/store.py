@@ -19,7 +19,7 @@ import dataclasses
 import hashlib
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigError
 from ..hw.config import DeviceConfig

@@ -1,6 +1,5 @@
 """Bandwidth accounting and roofline tests."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.bandwidth import (

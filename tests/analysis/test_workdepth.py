@@ -1,6 +1,5 @@
 """Work/depth model tests — including cross-checks against live traces."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ShapeError

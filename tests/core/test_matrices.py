@@ -9,6 +9,7 @@ from repro.hw.device import AscendDevice
 from repro.core.matrices import (
     all_ones,
     batched_tile_rows,
+    host_constant_matrices,
     lower_ones,
     padded_length,
     strict_lower_ones,
@@ -17,6 +18,42 @@ from repro.core.matrices import (
     upper_ones,
     validate_tile_size,
 )
+
+
+class TestHostConstantsMemo:
+    def test_same_key_returns_same_arrays(self):
+        a = host_constant_matrices(16, 16, "fp16")
+        b = host_constant_matrices(16, 16, "fp16")
+        assert all(x is y for x, y in zip(a, b))
+
+    def test_distinct_keys_are_distinct(self):
+        a = host_constant_matrices(16, 16, "fp16")
+        b = host_constant_matrices(16, 8, "fp16")
+        c = host_constant_matrices(16, 16, "int8")
+        assert a[1] is not b[1]
+        assert a[0] is not c[0]
+
+    def test_cached_arrays_are_read_only(self):
+        u, sl, ones = host_constant_matrices(32, 32, "fp16")
+        for arr in (u, sl, ones):
+            with pytest.raises(ValueError):
+                arr[0] = 7
+
+    def test_values_match_the_generators(self):
+        u, sl, ones = host_constant_matrices(16, 8, "int8")
+        assert np.array_equal(u, upper_ones(16, np.int8).reshape(-1))
+        assert np.array_equal(sl, strict_lower_ones(8, np.int8).reshape(-1))
+        assert np.array_equal(ones, all_ones(16, np.int8).reshape(-1))
+
+    def test_two_devices_share_one_host_materialisation(self):
+        host_constant_matrices.cache_clear()
+        upload_constants(AscendDevice(toy_config()), 16, "fp16")
+        info_after_first = host_constant_matrices.cache_info()
+        upload_constants(AscendDevice(toy_config()), 16, "fp16")
+        info_after_second = host_constant_matrices.cache_info()
+        assert info_after_first.misses == 1
+        assert info_after_second.misses == 1
+        assert info_after_second.hits == info_after_first.hits + 1
 
 
 class TestMatrices:

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import KernelError, SchedulerError
-from repro.hw.config import toy_config
-from repro.hw.device import AscendDevice, CoreHandle
+from repro.hw.device import CoreHandle
 from repro.hw.isa import EngineKind
 from repro.lang import Kernel, intrinsics as I
 from repro.lang.tensor import BufferKind

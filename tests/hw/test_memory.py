@@ -197,6 +197,66 @@ class TestFree:
         with pytest.raises(AllocationError):
             mem.free(a.prefix(8))
 
+    def test_double_free_message_names_the_cause(self, mem):
+        a = mem.alloc("a", 64, "fp16")
+        mem.free(a)
+        with pytest.raises(AllocationError, match="double free"):
+            mem.free(a)
+
+    def test_free_of_view_message_points_at_parent(self, mem):
+        a = mem.alloc("a", 64, "fp16")
+        with pytest.raises(AllocationError, match="view"):
+            mem.free(a.prefix(8))
+
+    def test_free_of_released_handle_names_the_cause(self, mem):
+        mark = mem.mark()
+        a = mem.alloc("a", 64, "fp16")
+        mem.release(mark)
+        with pytest.raises(AllocationError, match="mark/release"):
+            mem.free(a)
+
+    def test_free_of_foreign_tensor_rejected(self, mem):
+        other = GlobalMemory(toy_config())
+        t = other.alloc("elsewhere", 64, "fp16")
+        with pytest.raises(AllocationError, match="foreign"):
+            mem.free(t)
+
+    def test_rejected_free_does_not_corrupt_the_hole_list(self, mem):
+        a = mem.alloc("a", 256, "fp16")
+        mem.alloc("pin", 64, "fp16")
+        mem.free(a)
+        holes_before = mem.used_bytes
+        with pytest.raises(AllocationError):
+            mem.free(a)  # double free must not re-insert a's hole
+        assert mem.used_bytes == holes_before
+        b = mem.alloc("b", 256, "fp16")  # the one real hole, reused once
+        assert b.base_addr == a.base_addr
+        c = mem.alloc("c", 256, "fp16")
+        assert c.base_addr > b.base_addr
+
+    def test_free_below_outstanding_mark_rejected_up_front(self, mem):
+        """Freeing a pre-mark tensor would shift the indices release()
+        snapshotted; the allocator must refuse immediately instead of
+        letting release() drop the wrong tensors later."""
+        a = mem.alloc("a", 64, "fp16")
+        mark = mem.mark()
+        keep = mem.alloc("keep", 64, "fp16")
+        with pytest.raises(AllocationError, match="outstanding mark"):
+            mem.free(a)
+        # the refused free left everything intact: release drops only `keep`
+        mem.release(mark)
+        assert [t.name for t in mem.tensors] == ["a"]
+        assert all(t is not keep for t in mem.tensors)
+        mem.free(a)  # and a is freeable once the mark is gone
+
+    def test_free_of_post_mark_tensor_allowed_under_mark(self, mem):
+        mem.alloc("a", 64, "fp16")
+        mark = mem.mark()
+        tmp = mem.alloc("tmp", 64, "fp16")
+        mem.free(tmp)  # allocated after the mark: safe to free early
+        mem.release(mark)
+        assert [t.name for t in mem.tensors] == ["a"]
+
     def test_release_reopens_holes_consumed_by_dropped_tensors(self, mem):
         """A tensor allocated from a pre-mark hole and then dropped by
         release() must give its bytes back (no permanent leak)."""

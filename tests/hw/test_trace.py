@@ -5,8 +5,6 @@ import json
 import numpy as np
 import pytest
 
-from repro.hw.config import toy_config
-from repro.hw.device import AscendDevice
 from repro.lang import Kernel, intrinsics as I
 from repro.lang.tensor import BufferKind
 

@@ -2,7 +2,6 @@
 outlook implemented: iterations equal the key bit-width."""
 
 import numpy as np
-import pytest
 
 from repro.core.reference import stable_split
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import KernelError
 from repro.ops.radix import decode_fp16_np, encode_fp16_np
 
 

@@ -1,0 +1,178 @@
+"""Sharded 1-D scan: partitioning, differential exactness, timing model."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import exact_fp16_scan_input, inclusive_scan
+from repro.errors import ConfigError, KernelError, ShapeError
+from repro.hw.config import toy_config
+from repro.shard import DevicePool, ShardedScanner, shard_ranges
+from repro.tune import TunedEntry, TuneStore
+
+
+@pytest.fixture()
+def pool():
+    return DevicePool(3, toy_config())
+
+
+class TestShardRanges:
+    def test_covers_input_contiguously(self):
+        ranges = shard_ranges(10_000, 3, 256)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 10_000
+        for (_, e1), (s2, _) in zip(ranges, ranges[1:]):
+            assert e1 == s2
+
+    def test_interior_boundaries_unit_aligned(self):
+        for n in (10_000, 65_536, 12_345):
+            for d in (1, 2, 3, 4):
+                for start, end in shard_ranges(n, d, 256)[:-1]:
+                    assert start % 256 == 0
+                    assert end % 256 == 0
+
+    def test_balanced_at_unit_granularity(self):
+        ranges = shard_ranges(40 * 256, 4, 256)
+        sizes = [e - s for s, e in ranges]
+        assert max(sizes) - min(sizes) <= 256
+
+    def test_short_input_drops_empty_shards(self):
+        ranges = shard_ranges(100, 4, 256)
+        assert ranges == [(0, 100)]
+        assert len(shard_ranges(300, 4, 256)) == 2
+
+    def test_single_shard_is_whole_input(self):
+        assert shard_ranges(999, 1, 256) == [(0, 999)]
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            shard_ranges(0, 2, 256)
+        with pytest.raises(ShapeError):
+            shard_ranges(100, 0, 256)
+        with pytest.raises(ShapeError):
+            shard_ranges(100, 2, 0)
+
+
+class TestDifferential:
+    """Sharded output must be bit-identical to the core.reference oracle."""
+
+    @pytest.mark.parametrize("num_devices", [1, 2, 3, 4])
+    @pytest.mark.parametrize("n", [4096, 12_345, 50_000])
+    def test_fp16_exact_bit_identical(self, rng, num_devices, n):
+        pool = DevicePool(num_devices, toy_config())
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x, expected = exact_fp16_scan_input(n, rng)
+        result = scanner.scan(x)
+        assert result.values.dtype == np.float32
+        assert np.array_equal(result.values, inclusive_scan(x))
+        assert np.array_equal(result.values, expected)
+
+    @pytest.mark.parametrize("num_devices", [1, 2, 3, 4])
+    @pytest.mark.parametrize("n", [4096, 12_345, 50_000])
+    def test_int8_bit_identical(self, rng, num_devices, n):
+        pool = DevicePool(num_devices, toy_config())
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x = rng.integers(-30, 31, size=n).astype(np.int8)
+        result = scanner.scan(x)
+        assert result.values.dtype == np.int32
+        assert np.array_equal(result.values, inclusive_scan(x))
+
+    def test_non_divisible_shard_sizes(self, rng):
+        # n chosen so the tail shard is unpadded and shards are uneven
+        pool = DevicePool(3, toy_config())
+        scanner = ShardedScanner(pool, algorithm="scanul1", s=16)
+        x, _ = exact_fp16_scan_input(257 * 3 + 1, rng)
+        result = scanner.scan(x)
+        assert np.array_equal(result.values, inclusive_scan(x))
+
+    def test_other_algorithms_agree(self, rng):
+        x, _ = exact_fp16_scan_input(20_000, rng)
+        ref = inclusive_scan(x)
+        for algorithm in ("scanu", "scanul1", "ssa"):
+            pool = DevicePool(2, toy_config())
+            scanner = ShardedScanner(pool, algorithm=algorithm, s=16)
+            assert np.array_equal(scanner.scan(x).values, ref)
+
+
+class TestScanner:
+    def test_shard_records_cover_input(self, pool, rng):
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x, _ = exact_fp16_scan_input(30_000, rng)
+        result = scanner.scan(x)
+        assert result.num_devices == 3
+        assert result.shards[0].start == 0
+        assert result.shards[-1].end == 30_000
+        assert sum(r.n for r in result.shards) == 30_000
+        assert result.n_elements == 30_000
+
+    def test_wall_clock_is_two_stage_max(self, pool, rng):
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x, _ = exact_fp16_scan_input(30_000, rng)
+        result = scanner.scan(x)
+        assert result.scan_stage_ns == max(r.scan_ns for r in result.shards)
+        assert result.carry_stage_ns == max(
+            r.carry_ns for r in result.shards[1:]
+        )
+        assert result.wall_ns == result.scan_stage_ns + result.carry_stage_ns
+        # device 0 never runs a carry pass
+        assert result.shards[0].carry_ns == 0.0
+        assert all(r.carry_ns > 0 for r in result.shards[1:])
+
+    def test_single_device_has_no_carry_stage(self, rng):
+        scanner = ShardedScanner(DevicePool(1, toy_config()), s=16)
+        x, _ = exact_fp16_scan_input(4096, rng)
+        assert scanner.scan(x).carry_stage_ns == 0.0
+
+    def test_plans_memoized_across_scans(self, pool, rng):
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x, _ = exact_fp16_scan_input(30_000, rng)
+        first = scanner.scan(x)
+        assert all(not r.plan_hit for r in first.shards)
+        built = scanner.plans_built
+        again = scanner.scan(x)
+        assert all(r.plan_hit for r in again.shards)
+        assert scanner.plans_built == built
+
+    def test_rejects_bad_inputs(self, pool, rng):
+        scanner = ShardedScanner(pool, s=16)
+        with pytest.raises(ShapeError):
+            scanner.scan(np.zeros((2, 8), dtype=np.float16))
+        with pytest.raises(ShapeError):
+            scanner.scan(np.zeros(0, dtype=np.float16))
+        with pytest.raises(KernelError):
+            ShardedScanner(pool, algorithm="vector")
+        with pytest.raises(KernelError):
+            ShardedScanner(pool, algorithm="nope")
+
+    def test_pool_validates_device_count(self):
+        with pytest.raises(ConfigError):
+            DevicePool(0, toy_config())
+
+    def test_release_frees_pool_gm(self, pool, rng):
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x, _ = exact_fp16_scan_input(30_000, rng)
+        scanner.scan(x)
+        used = pool.gm_used_bytes()
+        freed = scanner.release()
+        assert freed > 0
+        assert all(a < b for a, b in zip(pool.gm_used_bytes(), used))
+
+    def test_tuned_vector_entry_falls_back_to_cube(self, rng):
+        """A tuned store recommending the vector baseline (input-dtype
+        output) must not break the accumulator-dtype carry chain."""
+        cfg = toy_config()
+        store = TuneStore(cfg)
+        n = 8192  # one 2-device shard of 16384
+        store.record(
+            f"1d:{n}:fp16:i",
+            TunedEntry(
+                algorithm="vector", s=0, block_dim=None, layout="1d",
+                tuned_ns=1.0, default_ns=2.0,
+            ),
+        )
+        pool = DevicePool(2, cfg, tune_store=store)
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16, tuned=True)
+        x, _ = exact_fp16_scan_input(16_384, rng)
+        result = scanner.scan(x)
+        assert result.values.dtype == np.float32
+        assert np.array_equal(result.values, inclusive_scan(x))
+        assert all(not r.tuned for r in result.shards)

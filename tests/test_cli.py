@@ -61,6 +61,17 @@ class TestCommands:
         ) == 0
         assert "### fig09" in out_file.read_text()
 
+    def test_shard(self, capsys):
+        assert main(["shard", "-n", "256K", "--devices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dev0" in out and "dev1" in out
+        assert "carry stage" in out
+        assert "speedup at D=2" in out
+
+    def test_shard_rejects_vector(self):
+        with pytest.raises(SystemExit):
+            main(["shard", "--algorithm", "vector"])
+
     def test_sort(self, capsys):
         assert main(["sort", "-n", "64K"]) == 0
         assert "speedup" in capsys.readouterr().out

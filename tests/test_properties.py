@@ -7,7 +7,6 @@ tile multiples) and extreme mask densities.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.api import ScanContext
