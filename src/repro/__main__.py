@@ -16,6 +16,10 @@ Subcommands:
 * ``shard`` — shard one 1-D scan across a pool of simulated devices and
   compare its two-stage wall clock against a single device (``--smoke``
   runs the CI self-check);
+* ``chaos`` — serve a mixed load on a fault-injected device pool
+  (transient launch failures, engine slowdowns, one permanent device
+  loss) and report retries, failovers and per-member health (``--smoke``
+  runs the CI self-check);
 * ``sort`` / ``compress`` / ``topp`` — run one operator comparison.
 
 Examples::
@@ -385,6 +389,160 @@ def cmd_shard(args) -> int:
     return 0
 
 
+def _chaos_smoke() -> int:
+    """CI self-check for fault injection + resilient serving: a single
+    service absorbs seeded transient faults with bounded retry, and a
+    D=3 pool under 20% transient rates plus one permanent device loss
+    serves every request bit-identical to the oracle, loses no ticket,
+    and reports per-member health."""
+    from .core.reference import exact_fp16_scan_input, inclusive_scan
+    from .hw import FaultPlan
+    from .serve import DEAD, RetryPolicy, ScanService
+    from .shard import DevicePool, PoolScanService
+
+    rng = np.random.default_rng(0)
+    failures = []
+
+    def check(cond: bool, msg: str) -> None:
+        print(f"{'PASS' if cond else 'FAIL'}  {msg}")
+        if not cond:
+            failures.append(msg)
+
+    # 1. single service: transient faults are retried, results exact
+    # (batching off -> one launch per request -> plenty of fault draws)
+    svc = ScanService(retry=RetryPolicy(max_attempts=4), batching=False)
+    svc.ctx.device.fault_plan = FaultPlan(seed=7, transient_rate=0.3)
+    inputs = {}
+    for _ in range(8):
+        x, _e = exact_fp16_scan_input(8192, rng)
+        inputs[svc.submit(x).req_id] = x
+    done = svc.flush()
+    check(
+        len(done) == len(inputs)
+        and all(
+            np.array_equal(t.result(), inclusive_scan(inputs[t.req_id]))
+            for t in done
+        ),
+        f"faulty single device served {len(done)} requests exactly "
+        f"({svc.stats.fault_events} faults absorbed)",
+    )
+    check(
+        svc.stats.fault_events > 0
+        and svc.stats.total_retries > 0
+        and svc.stats.total_backoff_ns > 0,
+        "retries and backoff show up in service stats",
+    )
+
+    # 2. pool: 20% transient rates, slowdowns, one member dies for good
+    pool = DevicePool(
+        3,
+        fault_plans={
+            0: FaultPlan(seed=1, transient_rate=0.2, mte_slowdown=1.3),
+            1: FaultPlan(seed=2, die_at_launch=0),
+            2: FaultPlan(seed=3, transient_rate=0.2, vec_slowdown=1.25),
+        },
+    )
+    psvc = PoolScanService(pool=pool, retry=RetryPolicy(max_attempts=4))
+    inputs = {}
+    for n in (4096, 8192, 16384):
+        for _ in range(4):
+            x, _e = exact_fp16_scan_input(n, rng)
+            inputs[psvc.submit(x).req_id] = x
+    for n in (8192, 16384):
+        for _ in range(3):
+            x = rng.integers(-20, 21, size=n).astype(np.int8)
+            inputs[psvc.submit(x, algorithm="scanul1").req_id] = x
+    done = psvc.flush()
+    check(
+        len(done) == len(inputs)
+        and all(
+            np.array_equal(t.result(), inclusive_scan(inputs[t.req_id]))
+            for t in done
+        ),
+        f"chaos pool served {len(done)} requests bit-identical to the oracle",
+    )
+    check(
+        psvc.pending == 0 and not psvc._tickets,
+        "no ticket lost (queue and tracking table both empty)",
+    )
+    health = psvc.member_health()
+    check(
+        health[1].state == DEAD and sum(h.failovers for h in health) >= 1,
+        "dead member detected and its work failed over "
+        f"({health[1].fault_events} faults, "
+        f"{sum(h.failovers for h in health)} failovers)",
+    )
+
+    # 3. routing excludes the dead member afterwards
+    more = {}
+    for _ in range(6):
+        x, _e = exact_fp16_scan_input(8192, rng)
+        more[psvc.submit(x).req_id] = x
+    done2 = psvc.flush()
+    check(
+        all(t.device != 1 for t in done2)
+        and all(
+            np.array_equal(t.result(), inclusive_scan(more[t.req_id]))
+            for t in done2
+        ),
+        "post-death traffic routes around the dead member, still exact",
+    )
+    text = psvc.summary()
+    check(
+        "dead" in text and ("degraded" in text or "failover" in text),
+        "summary() reports member health",
+    )
+
+    if failures:
+        print(f"\nchaos smoke: {len(failures)} check(s) failed")
+        return 1
+    print("\nchaos smoke: all checks passed")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    from .core.reference import exact_fp16_scan_input, inclusive_scan
+    from .hw import FaultPlan
+    from .serve import RetryPolicy
+    from .shard import DevicePool, PoolScanService
+
+    if args.smoke:
+        return _chaos_smoke()
+    rng = np.random.default_rng(args.seed)
+    plans = {}
+    for i in range(args.devices):
+        plans[i] = FaultPlan(
+            seed=args.seed + i,
+            transient_rate=args.rate,
+            mte_slowdown=args.mte_slowdown if i == 0 else 1.0,
+            vec_slowdown=args.vec_slowdown if i == 0 else 1.0,
+            die_at_launch=args.kill_at if i == args.kill else None,
+        )
+    pool = DevicePool(args.devices, fault_plans=plans)
+    svc = PoolScanService(
+        pool=pool, retry=RetryPolicy(max_attempts=args.attempts)
+    )
+    sizes = [4096, 8192, 16384, 32768]
+    inputs = {}
+    for j in range(args.requests):
+        x, _e = exact_fp16_scan_input(sizes[j % len(sizes)], rng)
+        inputs[svc.submit(x).req_id] = x
+    done = svc.flush()
+    exact = sum(
+        np.array_equal(t.result(), inclusive_scan(inputs[t.req_id]))
+        for t in done
+    )
+    print(svc.summary())
+    print(f"served          : {len(done)}/{len(inputs)} requests, "
+          f"{exact} bit-identical to the oracle")
+    for plan_i, plan in sorted(plans.items()):
+        print(f"  dev{plan_i} faults   : {plan.describe()} -> "
+              f"{plan.transient_faults} transient over "
+              f"{plan.launches} launches"
+              f"{', DEAD' if plan.dead else ''}")
+    return 0 if exact == len(inputs) else 1
+
+
 def cmd_sort(args) -> int:
     n = _parse_size(args.n)
     rng = np.random.default_rng(args.seed)
@@ -516,6 +674,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI self-check: bit-identical sharded results, "
                     "pool routing correctness, D=4 beats one device")
     ph.set_defaults(fn=cmd_shard)
+
+    px = sub.add_parser(
+        "chaos", help="fault-injected pool serving with retry/failover"
+    )
+    px.add_argument("--devices", type=int, default=3,
+                    help="pool size D (one member may be killed)")
+    px.add_argument("--requests", type=int, default=24,
+                    help="number of mixed-shape requests to submit")
+    px.add_argument("--rate", type=float, default=0.2,
+                    help="per-launch transient fault probability")
+    px.add_argument("--mte-slowdown", type=float, default=1.0,
+                    help="MTE slowdown factor injected on dev0 (>= 1.0)")
+    px.add_argument("--vec-slowdown", type=float, default=1.0,
+                    help="vector slowdown factor injected on dev0 (>= 1.0)")
+    px.add_argument("--kill", type=int, default=None,
+                    help="member index to lose permanently (default: none)")
+    px.add_argument("--kill-at", type=int, default=2,
+                    help="launch index at which --kill member dies")
+    px.add_argument("--attempts", type=int, default=4,
+                    help="retry policy: total launch attempts per group")
+    px.add_argument("--seed", type=int, default=0)
+    px.add_argument("--smoke", action="store_true",
+                    help="CI self-check: faults absorbed, failover keeps "
+                    "results bit-identical, health reported")
+    px.set_defaults(fn=cmd_chaos)
 
     po = sub.add_parser("sort", help="radix sort vs torch.sort")
     po.add_argument("-n", default="1M")

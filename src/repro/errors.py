@@ -52,3 +52,32 @@ class DeadlockError(SchedulerError):
 class TimingAuditError(SchedulerError):
     """A compiled/memoized timeline disagreed with the reference discrete-
     event scheduler (``AscendDevice.replay(..., audit_timing=True)``)."""
+
+
+class DeviceFault(ReproError):
+    """A simulated kernel launch failed (fault injection, see
+    :mod:`repro.hw.faults`).
+
+    ``permanent`` distinguishes device loss — every later launch on the
+    device fails too — from a transient launch failure that a relaunch
+    may clear.  The serving layer's retry loop stamps ``attempts`` with
+    the number of launch attempts it made before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        device: "str | None" = None,
+        permanent: bool = False,
+        launch_index: "int | None" = None,
+    ):
+        super().__init__(message)
+        #: name of the faulting device (``AscendDevice.name``)
+        self.device = device
+        #: True for permanent device loss, False for a transient failure
+        self.permanent = permanent
+        #: per-device launch counter value at the moment of the fault
+        self.launch_index = launch_index
+        #: launch attempts made before this fault escaped the retry loop
+        self.attempts = 1

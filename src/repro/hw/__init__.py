@@ -9,6 +9,7 @@ from .cache import L2Cache
 from .config import ASCEND_910B4, BufferConfig, CostConfig, DeviceConfig, MemoryConfig, toy_config
 from .datatypes import FP16, FP32, INT8, INT16, INT32, UINT16, UINT32, DType, as_dtype, cube_accum_dtype, dtype_by_name
 from .device import AscendDevice, CoreHandle, Emitter
+from .faults import FaultPlan
 from .isa import CostModel, EngineKind, Op
 from .memory import GlobalMemory, GlobalSlice, GlobalTensor
 from .scheduler import Program, Timeline, simulate
@@ -27,6 +28,7 @@ __all__ = [
     "EngineInfo",
     "EngineKind",
     "EngineStats",
+    "FaultPlan",
     "FP16",
     "FP32",
     "GlobalMemory",

@@ -119,6 +119,11 @@ class CostConfig:
     """Cost of a device-wide SyncAll barrier."""
     kernel_launch_ns: float = 2500.0
     """Host-side launch overhead added once per kernel."""
+    relaunch_backoff_ns: float = 5000.0
+    """Base backoff the serving layer charges to simulated device time
+    before relaunching after a transient :class:`~repro.errors.DeviceFault`
+    (driver teardown + re-issue; doubled per retry by the default
+    :class:`~repro.serve.resilience.RetryPolicy`)."""
 
 
 @dataclass(frozen=True)

@@ -309,11 +309,17 @@ class AscendDevice:
         name: "str | None" = None,
         audit_hazards: bool = False,
         audit_timing: bool = False,
+        fault_plan=None,
     ):
         self.config = config
         #: instance label — device pools (repro.shard) run several devices
         #: of the same config, so traces and stats need a per-device name
         self.name = name if name is not None else config.name
+        #: optional :class:`repro.hw.faults.FaultPlan`; when set, every
+        #: :meth:`replay` consults it — transient/permanent faults raise
+        #: :class:`~repro.errors.DeviceFault` and slowdowns stretch the
+        #: returned trace.  May also be attached after construction.
+        self.fault_plan = fault_plan
         #: when True, every emitted op logs its data accesses (HazardAccess)
         #: so tests can independently verify synchronization coverage
         self.audit_hazards = audit_hazards
@@ -439,7 +445,14 @@ class AscendDevice:
         re-runs the reference DES regardless of path and raises
         :class:`~repro.errors.TimingAuditError` unless the served timeline
         is ns-identical — the escape hatch for distrusting the cache.
+
+        With a :attr:`fault_plan` attached, the launch may instead raise
+        :class:`~repro.errors.DeviceFault` (transient or permanent, on the
+        plan's seeded schedule), and the returned trace is stretched by
+        the plan's engine slowdown factors.
         """
+        if self.fault_plan is not None:
+            self.fault_plan.on_launch(self.name)
         audit = self.audit_timing if audit_timing is None else audit_timing
         timeline = self._timeline_for(traced, engine)
 
@@ -449,7 +462,7 @@ class AscendDevice:
                 timeline, reference, label=label or traced.label
             )
 
-        return Trace(
+        trace = Trace(
             ops=traced.program.ops,
             timeline=timeline,
             engines=self._trace_engines,
@@ -458,6 +471,9 @@ class AscendDevice:
             launch_ns=self.config.costs.kernel_launch_ns,
             audit=traced.audit,
         )
+        if self.fault_plan is not None:
+            trace.stretch_ns = self.fault_plan.stretch_ns(trace)
+        return trace
 
     def _timeline_for(self, traced: TracedKernel, engine: str) -> Timeline:
         """Produce ``traced``'s timeline via the selected engine, keeping

@@ -56,6 +56,10 @@ class Trace:
     label: str = "kernel"
     #: host-side launch overhead included in total_ns but not in any op span
     launch_ns: float = 0.0
+    #: extra nanoseconds a degraded device adds on top of the healthy
+    #: timeline (engine slowdown injected by :mod:`repro.hw.faults`);
+    #: 0.0 on a healthy device
+    stretch_ns: float = 0.0
     #: per-op data-access log when the device ran with ``audit_hazards=True``
     #: (list of :class:`repro.hw.device.HazardAccess`); None otherwise
     audit: "list | None" = None
@@ -65,12 +69,12 @@ class Trace:
 
     @property
     def total_ns(self) -> float:
-        return self.timeline.total_ns + self.launch_ns
+        return self.timeline.total_ns + self.launch_ns + self.stretch_ns
 
     @property
     def device_ns(self) -> float:
         """Device-only time (excludes host launch overhead)."""
-        return self.timeline.total_ns
+        return self.timeline.total_ns + self.stretch_ns
 
     # -- traffic accounting ----------------------------------------------------
 

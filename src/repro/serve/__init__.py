@@ -18,6 +18,7 @@ operator integration would use in steady state:
 
 from .batcher import LaunchGroup, RequestBatcher, ScanRequest, bucket_size
 from .plan import PlanCache, PlanKey
+from .resilience import DEAD, DEGRADED, HEALTHY, MemberHealth, RetryPolicy
 from .service import ScanService, ScanTicket
 from .stats import LaunchRecord, ServiceStats
 
@@ -32,4 +33,9 @@ __all__ = [
     "ScanTicket",
     "ServiceStats",
     "LaunchRecord",
+    "RetryPolicy",
+    "MemberHealth",
+    "HEALTHY",
+    "DEGRADED",
+    "DEAD",
 ]

@@ -27,10 +27,21 @@ __all__ = ["ScanRequest", "LaunchGroup", "RequestBatcher", "bucket_size"]
 
 
 def bucket_size(batch: int, *, max_batch: int = 64) -> int:
-    """Smallest power of two >= batch, capped at ``max_batch``."""
+    """Smallest power of two >= batch, capped at the largest power of two
+    <= ``max_batch``.
+
+    The cap must itself be a power of two: buckets are the plan cache's
+    batched shape classes, and a non-power-of-two ``max_batch`` (say 48)
+    would otherwise leak through as a bucket of 48 — a shape class that
+    defeats the log2-classes guarantee and pads every 33-row batch as if
+    it were 48 rows.
+    """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
-    return min(1 << (batch - 1).bit_length(), max_batch)
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    cap = 1 << (max_batch.bit_length() - 1)
+    return min(1 << (batch - 1).bit_length(), cap)
 
 
 @dataclass
@@ -48,10 +59,18 @@ class ScanRequest:
     block_dim: "int | None" = None
     #: True when the config came from a tuned-plan store lookup
     tuned: bool = False
+    #: plan dtype name resolved once at submit (``_prepare``); grouping
+    #: keys use it so int64 input and int8 input land in one shape class
+    dtype: "str | None" = None
 
     @property
     def n(self) -> int:
         return self.x.size
+
+    @property
+    def plan_dtype(self) -> "str | np.dtype":
+        """Dtype used for plan-cache keys (normalized name if resolved)."""
+        return self.dtype if self.dtype is not None else self.x.dtype
 
 
 @dataclass
@@ -100,6 +119,15 @@ class RequestBatcher:
     def add(self, request: ScanRequest) -> None:
         self._pending.append(request)
 
+    def take_pending(self) -> "list[ScanRequest]":
+        """Remove and return every queued request (failover drain).
+
+        The device-pool serving layer uses this to recall work from a
+        member that faulted before its queue was flushed.
+        """
+        pending, self._pending = self._pending, []
+        return pending
+
     def _batchable(self, request: ScanRequest) -> bool:
         return (
             request.algorithm in BATCHED_ALGORITHMS and not request.exclusive
@@ -109,7 +137,8 @@ class RequestBatcher:
         """Partition and clear the pending queue.
 
         Returns groups in deterministic order (by first-submitted request),
-        splitting oversized groups at ``max_batch`` rows.
+        splitting oversized groups at the bucket cap (the largest power of
+        two <= ``max_batch``).
         """
         pending, self._pending = self._pending, []
         self.drained += len(pending)
@@ -118,11 +147,11 @@ class RequestBatcher:
         for req in pending:
             if self._batchable(req):
                 key = self.cache.key_batched(
-                    req.algorithm, 1, req.n, req.x.dtype, s=req.s
+                    req.algorithm, 1, req.n, req.plan_dtype, s=req.s
                 )
             else:
                 key = self.cache.key_1d(
-                    req.algorithm, req.n, req.x.dtype, s=req.s,
+                    req.algorithm, req.n, req.plan_dtype, s=req.s,
                     exclusive=req.exclusive, block_dim=req.block_dim,
                 )
             group = by_shape.get(key)
@@ -132,24 +161,41 @@ class RequestBatcher:
             group.requests.append(req)
 
         out: list[LaunchGroup] = []
+        # chunk at the bucket cap (pow2 floor of max_batch), not max_batch
+        # itself: a 48-row chunk cannot ride a 32-row bucket
+        chunk_rows = 1 << (self.max_batch.bit_length() - 1)
         for group in order:
             if (
                 group.key.batch is None
                 or len(group.requests) < self.min_group
             ):
-                # non-batchable shape class, or not worth a batched launch
-                if group.key.batch is not None:
-                    group.key = self.cache.key_1d(
-                        group.requests[0].algorithm,
-                        group.requests[0].n,
-                        group.requests[0].x.dtype,
+                if group.key.batch is None:
+                    # already a 1-D shape class
+                    out.append(group)
+                    continue
+                # Batched class too small for a batched launch: fall back
+                # to 1-D plans.  The 1-D key must be derived *per request*
+                # — requests that share a batched shape class can still
+                # differ in 1-D key (e.g. tuned block_dim, exclusive) —
+                # so re-partition instead of keying off requests[0].
+                fallback: dict[PlanKey, LaunchGroup] = {}
+                for req in group.requests:
+                    key = self.cache.key_1d(
+                        req.algorithm,
+                        req.n,
+                        req.plan_dtype,
                         s=group.key.s,
-                        block_dim=group.requests[0].block_dim,
+                        exclusive=req.exclusive,
+                        block_dim=req.block_dim,
                     )
-                out.append(group)
+                    sub = fallback.get(key)
+                    if sub is None:
+                        sub = fallback[key] = LaunchGroup(key=key)
+                        out.append(sub)
+                    sub.requests.append(req)
                 continue
-            for lo in range(0, len(group.requests), self.max_batch):
-                chunk = group.requests[lo : lo + self.max_batch]
+            for lo in range(0, len(group.requests), chunk_rows):
+                chunk = group.requests[lo : lo + chunk_rows]
                 bucket = bucket_size(len(chunk), max_batch=self.max_batch)
                 out.append(
                     LaunchGroup(

@@ -20,13 +20,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.api import ScanContext, ScanPlan
-from ..errors import ShapeError
+from ..errors import DeviceFault, KernelError, ShapeError
 from ..hw.config import ASCEND_910B4, DeviceConfig
 from .batcher import LaunchGroup, RequestBatcher, ScanRequest
 from .plan import PlanCache
+from .resilience import RetryPolicy
 from .stats import LaunchRecord, ServiceStats
 
 __all__ = ["ScanTicket", "ScanService"]
+
+#: EWMA weight for the observed-slowdown estimate (new launches count 25%)
+_SLOWDOWN_ALPHA = 0.25
 
 
 @dataclass
@@ -58,6 +62,10 @@ class ScanTicket:
     block_dim: "int | None" = None
     #: pool member index that served the request (None outside device pools)
     device: "int | None" = None
+    #: relaunches absorbed while serving this request (incl. failovers)
+    retries: int = 0
+    #: DeviceFaults observed while serving this request
+    faults: int = 0
 
     def result(self) -> np.ndarray:
         if not self.done:
@@ -81,8 +89,15 @@ class ScanService:
         validate_plans: bool = True,
         gm_budget: "int | None" = None,
         tune_store=None,
+        retry: "RetryPolicy | None" = None,
     ):
         self.ctx = ctx if ctx is not None else ScanContext(config)
+        #: bounded-retry discipline for transient DeviceFaults
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: EWMA of served launch time (incl. stretch + backoff) over the
+        #: healthy memoized timeline; 1.0 on an undisturbed device.  The
+        #: pool router weights its load estimate by this.
+        self.observed_slowdown = 1.0
         #: tuned-plan store consulted when submit() is given no explicit
         #: algorithm/s (see repro.tune.TuneStore); also exposed to the
         #: context so direct build_plan(tuned=True) calls share it
@@ -122,7 +137,7 @@ class ScanService:
             raise ShapeError(f"submit expects a 1-D array, got shape {x.shape}")
         if x.size == 0:
             raise ShapeError("submit expects a non-empty array")
-        dt = self.ctx._as_plan_dtype(x.dtype)
+        x, dt = self._normalize_input(x)
         tuned = False
         block_dim: "int | None" = None
         if algorithm is None and s is None and self.tune_store is not None:
@@ -154,6 +169,7 @@ class ScanService:
             t_submit=time.perf_counter(),
             block_dim=block_dim,
             tuned=tuned,
+            dtype=dt.name,
         )
         ticket = ScanTicket(
             req_id=req_id,
@@ -166,6 +182,27 @@ class ScanService:
             block_dim=block_dim,
         )
         return req, ticket
+
+    def _normalize_input(
+        self, x: np.ndarray
+    ) -> "tuple[np.ndarray, object]":
+        """Resolve the plan dtype exactly once, at submit.
+
+        Integer inputs whose values fit int8 are narrowed here, so every
+        downstream consumer — batcher grouping keys, plan-cache keys,
+        pool routing — sees one canonical shape class instead of re-keying
+        from ``x.dtype`` and fragmenting the cache.  fp16/int8 pass
+        through; everything else (including float32, whose narrowing
+        would silently lose precision) is rejected exactly as before.
+        """
+        try:
+            return x, self.ctx._as_plan_dtype(x.dtype)
+        except KernelError:
+            if x.dtype.kind in "iu":
+                info = np.iinfo(np.int8)
+                if int(x.min()) >= info.min and int(x.max()) <= info.max:
+                    return x.astype(np.int8), self.ctx._as_plan_dtype(np.int8)
+            raise
 
     def submit(
         self,
@@ -208,16 +245,71 @@ class ScanService:
     # -- execution ----------------------------------------------------------
 
     def flush(self) -> "list[ScanTicket]":
-        """Serve every queued request; returns their tickets in submit order."""
+        """Serve every queued request; returns their tickets in submit order.
+
+        Exception-safe: if a launch fails terminally (a permanent
+        :class:`~repro.errors.DeviceFault`, or retries exhausted), every
+        not-yet-served request — including the failing group's — is
+        re-queued with its ticket still tracked before the fault
+        propagates, so a later ``flush()`` (or the pool's failover onto
+        another member) can still serve it.  No ticket is ever lost.
+        """
         groups = self.batcher.drain()
         completed: list[ScanTicket] = []
-        for group in groups:
-            if group.batched:
-                completed.extend(self._serve_batched(group))
-            else:
-                completed.extend(self._serve_singles(group))
+        for gi, group in enumerate(groups):
+            try:
+                if group.batched:
+                    completed.extend(self._serve_batched(group))
+                else:
+                    completed.extend(self._serve_singles(group))
+            except Exception:
+                for later in groups[gi + 1 :]:
+                    self._requeue(later.requests)
+                raise
         completed.sort(key=lambda t: t.req_id)
         return completed
+
+    def _requeue(self, requests: "list[ScanRequest]") -> None:
+        """Put unserved requests back on the queue (tickets stay tracked)."""
+        for req in requests:
+            self.batcher.add(req)
+
+    def _execute_plan(self, plan: ScanPlan, x: np.ndarray):
+        """Launch ``plan`` under the retry policy.
+
+        Returns ``(result, retries, faults, backoff_ns)`` on success.
+        Transient faults are retried up to ``retry.max_attempts`` total
+        attempts, each retry charging exponential backoff to simulated
+        device time.  A permanent fault, or exhausting the attempts,
+        re-raises the final :class:`~repro.errors.DeviceFault` with its
+        ``attempts`` stamped.  Every fault (served or not) is counted in
+        ``stats.fault_events``.
+        """
+        policy = self.retry
+        default_backoff = self.ctx.config.costs.relaunch_backoff_ns
+        backoff_ns = 0.0
+        faults = 0
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = plan.execute(x)
+            except DeviceFault as fault:
+                self.stats.record_fault()
+                faults += 1
+                if fault.permanent or attempt >= policy.max_attempts:
+                    fault.attempts = attempt
+                    raise
+                backoff_ns += policy.backoff_for(attempt - 1, default_backoff)
+                continue
+            trace = result.trace
+            nominal = trace.total_ns - trace.stretch_ns
+            if nominal > 0:
+                observed = (trace.total_ns + backoff_ns) / nominal
+                self.observed_slowdown += _SLOWDOWN_ALPHA * (
+                    observed - self.observed_slowdown
+                )
+            return result, attempt - 1, faults, backoff_ns
 
     def _get_plan(self, group: LaunchGroup) -> "tuple[ScanPlan, bool]":
         key = group.key
@@ -241,65 +333,91 @@ class ScanService:
         for i, req in enumerate(group.requests):
             xp[i, : req.n] = req.x
         hits_before = plan.timeline_hits
-        result = plan.execute(xp)
+        try:
+            result, retries, faults, backoff_ns = self._execute_plan(plan, xp)
+        except Exception:
+            # tickets stay tracked; the whole group goes back on the queue
+            self._requeue(group.requests)
+            raise
         group_tuned = any(r.tuned for r in group.requests)
         per_launch_n = sum(req.n for req in group.requests)
         io = per_launch_n * plan._io_bytes_per_element()
+        served_ns = result.trace.total_ns + backoff_ns
         self.stats.record_launch(
             LaunchRecord(
                 kind="batched",
-                device_ns=result.trace.total_ns,
+                device_ns=served_ns,
                 n_elements=per_launch_n,
                 io_bytes=io,
                 requests=len(group.requests),
                 plan_hit=hit,
                 timeline_hit=plan.timeline_hits > hits_before,
                 tuned=group_tuned,
+                retries=retries,
+                faults=faults,
+                backoff_ns=backoff_ns,
             )
         )
         tickets = []
         for i, req in enumerate(group.requests):
+            # pop only after the launch succeeded: a fault above leaves
+            # every ticket of the group pending, not silently dropped
             ticket = self._tickets.pop(req.req_id)
             ticket.values = result.values[i, : req.n]
-            ticket.device_ns = result.trace.total_ns
+            ticket.device_ns = served_ns
             ticket.plan_hit = hit
             ticket.batched = True
             ticket.batch_size = len(group.requests)
+            ticket.retries += retries
+            ticket.faults += faults
             self._finish(ticket, req)
             tickets.append(ticket)
         return tickets
 
     def _serve_singles(self, group: LaunchGroup) -> "list[ScanTicket]":
         tickets = []
-        for req in group.requests:
+        for idx, req in enumerate(group.requests):
             key = self.cache.key_1d(
-                req.algorithm, req.n, req.x.dtype, s=req.s,
+                req.algorithm, req.n, req.plan_dtype, s=req.s,
                 exclusive=req.exclusive, block_dim=req.block_dim,
             )
             hit = key in self.cache
             plan = self.cache.get_1d(
-                req.algorithm, req.n, req.x.dtype, s=req.s,
+                req.algorithm, req.n, req.plan_dtype, s=req.s,
                 exclusive=req.exclusive, block_dim=req.block_dim,
                 tuned=req.tuned,
             )
             hits_before = plan.timeline_hits
-            result = plan.execute(req.x)
+            try:
+                result, retries, faults, backoff_ns = self._execute_plan(
+                    plan, req.x
+                )
+            except Exception:
+                # this request and everything after it go back on the queue
+                self._requeue(group.requests[idx:])
+                raise
+            served_ns = result.trace.total_ns + backoff_ns
             self.stats.record_launch(
                 LaunchRecord(
                     kind="single",
-                    device_ns=result.trace.total_ns,
+                    device_ns=served_ns,
                     n_elements=req.n,
                     io_bytes=result.io_bytes,
                     requests=1,
                     plan_hit=hit,
                     timeline_hit=plan.timeline_hits > hits_before,
                     tuned=req.tuned,
+                    retries=retries,
+                    faults=faults,
+                    backoff_ns=backoff_ns,
                 )
             )
             ticket = self._tickets.pop(req.req_id)
             ticket.values = result.values
-            ticket.device_ns = result.trace.total_ns
+            ticket.device_ns = served_ns
             ticket.plan_hit = hit
+            ticket.retries += retries
+            ticket.faults += faults
             self._finish(ticket, req)
             tickets.append(ticket)
         return tickets

@@ -27,6 +27,12 @@ class LaunchRecord:
     timeline_hit: bool = False
     #: True when the launch's plan config came from a tuned-plan store
     tuned: bool = False
+    #: relaunches needed before this launch succeeded (0 = first try)
+    retries: int = 0
+    #: transient DeviceFaults absorbed while serving this launch
+    faults: int = 0
+    #: simulated backoff charged to device time across those retries
+    backoff_ns: float = 0.0
 
 
 def _percentile(sorted_vals: "list[float]", q: float) -> float:
@@ -42,12 +48,18 @@ class ServiceStats:
 
     host_latencies_s: "list[float]" = field(default_factory=list)
     launches: "list[LaunchRecord]" = field(default_factory=list)
+    #: every DeviceFault observed, including ones whose launch ultimately
+    #: failed (so this can exceed the sum of per-launch ``faults``)
+    fault_events: int = 0
 
     def record_request(self, host_s: float) -> None:
         self.host_latencies_s.append(host_s)
 
     def record_launch(self, record: LaunchRecord) -> None:
         self.launches.append(record)
+
+    def record_fault(self) -> None:
+        self.fault_events += 1
 
     # -- request-side metrics ----------------------------------------------
 
@@ -128,6 +140,28 @@ class ServiceStats:
             return 0.0
         return self.tuned_launches / len(self.launches)
 
+    # -- resilience metrics --------------------------------------------------
+
+    @property
+    def total_retries(self) -> int:
+        """Relaunches across all successful launches."""
+        return sum(r.retries for r in self.launches)
+
+    @property
+    def total_faults(self) -> int:
+        """Transient faults absorbed by launches that went on to succeed."""
+        return sum(r.faults for r in self.launches)
+
+    @property
+    def total_backoff_ns(self) -> float:
+        """Simulated retry backoff charged to device time."""
+        return sum(r.backoff_ns for r in self.launches)
+
+    @property
+    def faulted_launches(self) -> int:
+        """Launches that needed at least one retry."""
+        return sum(1 for r in self.launches if r.retries)
+
     def summary(self) -> str:
         lat = sorted(self.host_latencies_s)
         lines = [
@@ -144,4 +178,11 @@ class ServiceStats:
             f"{self.gelems_per_s:.1f} GElems/s, "
             f"{self.bandwidth_gbps:.1f} GB/s",
         ]
+        if self.fault_events:
+            lines.append(
+                f"resilience      : {self.fault_events} fault events, "
+                f"{self.total_retries} retries over "
+                f"{self.faulted_launches} launches, "
+                f"{self.total_backoff_ns / 1e3:.1f} us backoff"
+            )
         return "\n".join(lines)

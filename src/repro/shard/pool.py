@@ -32,6 +32,7 @@ class DevicePool:
         *,
         tune_store=None,
         warm_inputs: bool = True,
+        fault_plans=None,
     ):
         if (
             not isinstance(num_devices, int)
@@ -45,6 +46,16 @@ class DevicePool:
         self.devices = [
             AscendDevice(config, name=f"dev{i}") for i in range(num_devices)
         ]
+        if fault_plans is not None:
+            # dict {member: FaultPlan} or a per-member sequence (None = healthy)
+            items = (
+                fault_plans.items()
+                if hasattr(fault_plans, "items")
+                else enumerate(fault_plans)
+            )
+            for member, plan in items:
+                if plan is not None:
+                    self.inject_faults(member, plan)
         self.contexts = [
             ScanContext(config, device=d, warm_inputs=warm_inputs)
             for d in self.devices
@@ -63,6 +74,18 @@ class DevicePool:
 
     def __getitem__(self, index: int) -> ScanContext:
         return self.contexts[index]
+
+    def inject_faults(self, member: int, plan) -> None:
+        """Attach a :class:`~repro.hw.faults.FaultPlan` to one member.
+
+        Every subsequent launch on that member's device consults the plan
+        (see :meth:`repro.hw.device.AscendDevice.replay`).
+        """
+        if not 0 <= member < len(self.devices):
+            raise ConfigError(
+                f"no pool member {member!r} (pool has {len(self.devices)})"
+            )
+        self.devices[member].fault_plan = plan
 
     def gm_used_bytes(self) -> "list[int]":
         """Per-member HBM bytes currently allocated (plans, constants)."""

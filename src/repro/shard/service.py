@@ -20,10 +20,21 @@ wall-clock of the whole mix.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
+from ..errors import DeviceFault
 from ..hw.config import ASCEND_910B4, DeviceConfig
-from ..serve.batcher import RequestBatcher
+from ..serve.batcher import LaunchGroup, RequestBatcher, ScanRequest
+from ..serve.resilience import (
+    DEAD,
+    DEGRADED,
+    HEALTHY,
+    SLOWDOWN_DEGRADED_THRESHOLD,
+    MemberHealth,
+    RetryPolicy,
+)
 from ..serve.service import ScanService, ScanTicket
 from .pool import DevicePool
 
@@ -45,6 +56,7 @@ class PoolScanService:
         batching: bool = True,
         validate_plans: bool = True,
         gm_budget: "int | None" = None,
+        retry: "RetryPolicy | None" = None,
     ):
         self.pool = (
             pool
@@ -63,6 +75,7 @@ class PoolScanService:
                 validate_plans=validate_plans,
                 gm_budget=gm_budget,
                 tune_store=self.tune_store,
+                retry=retry,
             )
             for ctx in self.pool
         ]
@@ -77,6 +90,13 @@ class PoolScanService:
         self.busy_ns = [0.0] * len(self.workers)
         #: launch groups routed to each member
         self.groups_routed = [0] * len(self.workers)
+        #: launch groups recalled from each member after a terminal fault
+        self.failovers = [0] * len(self.workers)
+        self._dead = [False] * len(self.workers)
+        #: per-group reroute budget before flush gives up and re-raises;
+        #: generous — a group only burns one unit when a member exhausts
+        #: its whole retry policy on it
+        self._max_group_failovers = 3 * len(self.workers)
         self._tickets: dict[int, ScanTicket] = {}
         self._next_id = 0
 
@@ -116,31 +136,158 @@ class PoolScanService:
 
     # -- execution -----------------------------------------------------------
 
-    def _least_loaded(self) -> int:
-        return min(range(len(self.workers)), key=lambda i: self.busy_ns[i])
+    def _alive(self) -> "list[int]":
+        return [i for i in range(len(self.workers)) if not self._dead[i]]
+
+    def _route_target(self) -> int:
+        """Least-loaded alive member, weighting accumulated busy time by
+        each member's observed slowdown — a degraded device looks
+        proportionally busier, so new work drifts to healthy members."""
+        alive = self._alive()
+        if not alive:
+            raise DeviceFault(
+                "every pool member is dead; no device left to serve on",
+                permanent=True,
+            )
+        return min(
+            alive,
+            key=lambda i: self.busy_ns[i] * self.workers[i].observed_slowdown,
+        )
 
     def flush(self) -> "list[ScanTicket]":
         """Route every queued launch group and serve it; returns tickets in
-        submit order."""
+        submit order.
+
+        Failover: when a member's launch fails terminally (its retry
+        policy exhausted, or a permanent :class:`~repro.errors.DeviceFault`),
+        the member's unserved queue is drained back into the pool and the
+        group is rerouted onto the surviving members; a permanently lost
+        member is marked dead and excluded from all further routing.
+        Tickets are never lost — work a dying member already completed is
+        kept, and everything else is re-served elsewhere, bit-identical
+        (plans are deterministic and device-independent).  Only when every
+        member is dead, or a group exceeds its reroute budget, does flush
+        re-raise — and even then all unserved requests are back in the
+        pool queue with their tickets tracked.
+        """
         groups = self.batcher.drain()
         # LPT: heaviest groups place first, onto the least-busy member
         groups.sort(key=lambda g: g.padded_elements, reverse=True)
+        queue = deque((group, 0) for group in groups)
         completed: list[ScanTicket] = []
-        for group in groups:
-            target = self._least_loaded()
+        while queue:
+            group, failovers = queue.popleft()
+            try:
+                target = self._route_target()
+            except DeviceFault:
+                self._restore(group, queue)
+                raise
             worker = self.workers[target]
+            routed: list[tuple[ScanRequest, ScanTicket]] = []
             for req in group.requests:
                 ticket = self._tickets.pop(req.req_id)
                 ticket.device = target
                 worker.enqueue(req, ticket)
+                routed.append((req, ticket))
             before = worker.stats.device_ns
-            completed.extend(worker.flush())
+            try:
+                completed.extend(worker.flush())
+            except DeviceFault as fault:
+                # faulted time (incl. retries' backoff already served)
+                self.busy_ns[target] += worker.stats.device_ns - before
+                if fault.permanent:
+                    self._dead[target] = True
+                leftover = self._recall(worker, group, fault)
+                for _, ticket in routed:
+                    if ticket.done:
+                        completed.append(ticket)
+                if not leftover.requests:
+                    continue
+                self.failovers[target] += 1
+                if failovers + 1 > self._max_group_failovers:
+                    self._restore(leftover, queue)
+                    raise
+                queue.append((leftover, failovers + 1))
+                continue
             self.busy_ns[target] += worker.stats.device_ns - before
             self.groups_routed[target] += 1
         completed.sort(key=lambda t: t.req_id)
         return completed
 
+    def _recall(
+        self,
+        worker: ScanService,
+        group: LaunchGroup,
+        fault: DeviceFault,
+    ) -> LaunchGroup:
+        """Drain a faulted member's unserved queue back into pool custody.
+
+        Returns the recalled work as a launch group ready to reroute.
+        The serve layer re-queued everything unserved before the fault
+        propagated, so ``take_pending`` is the complete unserved set.
+        """
+        leftover = worker.batcher.take_pending()
+        for req in leftover:
+            ticket = worker._tickets.pop(req.req_id)
+            ticket.device = None
+            self._tickets[req.req_id] = ticket
+        # attribute the terminal fault to the tickets whose launch it was:
+        # a batched group shares one launch (all recalled tickets), while
+        # singles fault one request at a time (the first recalled one)
+        victims = leftover if group.batched else leftover[:1]
+        for req in victims:
+            ticket = self._tickets[req.req_id]
+            ticket.faults += fault.attempts
+            ticket.retries += max(0, fault.attempts - 1)
+        return LaunchGroup(
+            key=group.key,
+            requests=leftover,
+            batched=group.batched,
+            bucket=group.bucket,
+        )
+
+    def _restore(self, group: LaunchGroup, queue) -> None:
+        """Give up on this flush: park every unserved request back in the
+        pool batcher (tickets stay tracked) so a later flush can retry."""
+        for req in group.requests:
+            self.batcher.add(req)
+        for later, _ in queue:
+            for req in later.requests:
+                self.batcher.add(req)
+
     # -- reporting -----------------------------------------------------------
+
+    def member_health(self) -> "list[MemberHealth]":
+        """Per-member health snapshot (healthy / degraded / dead).
+
+        Dead is sticky (a permanent fault was observed); degraded means
+        the member has absorbed faults, lost groups to failover, or runs
+        measurably slower than its healthy timelines.
+        """
+        out = []
+        for i, worker in enumerate(self.workers):
+            slowdown = worker.observed_slowdown
+            if self._dead[i]:
+                state = DEAD
+            elif (
+                worker.stats.fault_events
+                or self.failovers[i]
+                or slowdown > SLOWDOWN_DEGRADED_THRESHOLD
+            ):
+                state = DEGRADED
+            else:
+                state = HEALTHY
+            out.append(
+                MemberHealth(
+                    member=i,
+                    state=state,
+                    retries=worker.stats.total_retries,
+                    fault_events=worker.stats.fault_events,
+                    failovers=self.failovers[i],
+                    slowdown=slowdown,
+                )
+            )
+        return out
 
     @property
     def makespan_ns(self) -> float:
@@ -180,16 +327,26 @@ class PoolScanService:
             f"{self.throughput_gelems:.1f} GElems/s",
         ]
         util = self.device_utilisation()
+        health = self.member_health()
         for i, worker in enumerate(self.workers):
             cache = worker.cache.stats()
-            lines.append(
-                f"  dev{i}          : busy {self.busy_ns[i] / 1e3:.1f} us "
+            line = (
+                f"  dev{i}          : {health[i].state}, "
+                f"busy {self.busy_ns[i] / 1e3:.1f} us "
                 f"({util[i]:.0%} of makespan), "
                 f"{worker.stats.requests} requests / "
                 f"{self.groups_routed[i]} groups, "
                 f"{cache['plans']} plans, "
                 f"{cache['gm_bytes'] / 1e6:.1f} MB GM"
             )
+            if health[i].state != HEALTHY:
+                line += (
+                    f" [{health[i].fault_events} faults, "
+                    f"{health[i].retries} retries, "
+                    f"{health[i].failovers} failovers, "
+                    f"slowdown x{health[i].slowdown:.2f}]"
+                )
+            lines.append(line)
         if self.tune_store is not None:
             lines.append(
                 f"tuned store     : {len(self.tune_store)} entries "

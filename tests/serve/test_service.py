@@ -29,6 +29,35 @@ def test_bucket_size_powers_of_two():
     assert bucket_size(100, max_batch=16) == 16
     with pytest.raises(ValueError):
         bucket_size(0)
+    with pytest.raises(ValueError):
+        bucket_size(4, max_batch=0)
+
+
+def test_bucket_size_clamps_to_power_of_two_cap():
+    """Regression: a non-power-of-two max_batch used to leak through as a
+    bucket (48-row shape classes defeating the log2-classes guarantee)."""
+    assert bucket_size(40, max_batch=48) == 32
+    assert bucket_size(48, max_batch=48) == 32
+    assert bucket_size(3, max_batch=48) == 4
+    assert bucket_size(100, max_batch=100) == 64
+    for cap in (1, 3, 48, 100):
+        b = bucket_size(cap, max_batch=cap)
+        assert b & (b - 1) == 0  # power of two
+        assert b <= cap
+
+
+def test_non_pow2_max_batch_serves_correctly():
+    """With max_batch=48, oversized groups chunk at the 32-row bucket cap
+    (a 48-row chunk cannot ride a 32-row bucket)."""
+    svc = ScanService(config=toy_config(), max_batch=48)
+    xs = [_x(600, i) for i in range(48)]
+    ts = [svc.submit(x, algorithm="scanu", s=32) for x in xs]
+    svc.flush()
+    assert sorted(t.batch_size for t in ts) == [16] * 16 + [32] * 32
+    for x, t in zip(xs, ts):
+        assert np.array_equal(t.result(), inclusive_scan(x))
+    for rec in svc.stats.launches:
+        assert rec.kind == "batched" and rec.requests <= 32
 
 
 def test_submit_validates_input(service):
@@ -114,6 +143,76 @@ def test_oversized_groups_split_at_max_batch():
     sizes = sorted(t.batch_size for t in ts)
     assert sizes == [2, 2, 4, 4, 4, 4]
     assert svc.stats.launch_count == 2
+
+
+def test_fallback_groups_rekey_per_request():
+    """Regression: sub-min_group batchable groups were re-keyed from
+    requests[0] only, so requests differing in block_dim (or exclusive)
+    silently shared one wrong 1-D plan key."""
+    import time
+
+    from repro.serve.batcher import ScanRequest
+
+    svc = ScanService(config=toy_config(), min_group=8)
+    reqs = [
+        ScanRequest(
+            req_id=i,
+            x=_x(600, i),
+            algorithm="scanu",
+            s=32,
+            exclusive=False,
+            t_submit=time.perf_counter(),
+            block_dim=bd,
+        )
+        for i, bd in enumerate([None, 1])
+    ]
+    for r in reqs:
+        svc.batcher.add(r)
+    groups = svc.batcher.drain()
+    # same batched shape class, but two distinct 1-D fallback keys
+    assert len(groups) == 2
+    assert not any(g.batched for g in groups)
+    assert {g.key.block_dim for g in groups} == {None, 1}
+    assert all(g.key.batch is None for g in groups)
+
+
+def test_fallback_groups_thread_exclusive_through(service):
+    """End-to-end: a lone mcscan pair (inclusive + exclusive) below
+    min_group must keep both exclusive flags in their 1-D keys."""
+    x = _x(800)
+    inc = service.submit(x, algorithm="mcscan", s=32)
+    exc = service.submit(x, algorithm="mcscan", s=32, exclusive=True)
+    service.flush()
+    assert np.array_equal(inc.result(), inclusive_scan(x))
+    assert np.array_equal(exc.result(), exclusive_scan(x))
+    keys = list(service.cache._plans)
+    assert {k.exclusive for k in keys} == {True, False}
+
+
+def test_int64_input_normalized_once_to_int8(service):
+    """Satellite: dtype resolves once at submit; int64 input that fits
+    int8 lands in the same shape class as native int8 everywhere."""
+    x64 = np.arange(-20, 20, dtype=np.int64).repeat(20)[:700]
+    x8 = _x(700, seed=1, dtype=np.int8)
+    a = service.submit(x64, algorithm="scanu", s=32)
+    b = service.submit(x8, algorithm="scanu", s=32)
+    service.flush()
+    assert a.dtype == b.dtype == "int8"
+    # one shape class -> one coalesced batched launch, one cached plan
+    assert a.batched and b.batched and a.batch_size == 2
+    assert service.stats.launch_count == 1
+    assert len(service.cache) == 1
+    assert np.array_equal(a.result(), inclusive_scan(x64.astype(np.int8)))
+    assert np.array_equal(b.result(), inclusive_scan(x8))
+
+
+def test_int64_out_of_range_still_rejected(service):
+    with pytest.raises(Exception):
+        service.submit(np.full(700, 1000, dtype=np.int64))
+    # float32 narrowing would lose precision silently: still rejected
+    with pytest.raises(Exception):
+        service.submit(np.zeros(700, dtype=np.float32))
+    assert service.pending == 0
 
 
 def test_mcscan_and_exclusive_served_individually(service):

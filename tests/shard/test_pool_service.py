@@ -91,6 +91,56 @@ class TestRoutingAndCorrectness:
         assert svc.device_utilisation() == [0.0, 0.0]
 
 
+class TestFlushInvariants:
+    """Satellite: flush ordering and accounting invariants that the
+    failover rework must preserve."""
+
+    def test_submit_order_across_multiple_flush_rounds(self, svc, rng):
+        seen = []
+        for _ in range(3):
+            inputs = _submit_mix(svc, rng, fp16_reqs=5, int8_reqs=3)
+            done = svc.flush()
+            assert [t.req_id for t in done] == sorted(inputs)
+            seen.extend(t.req_id for t in done)
+        # ids are globally monotonic across rounds too
+        assert seen == sorted(seen)
+
+    def test_busy_ns_matches_worker_device_time(self, svc, rng):
+        for _ in range(2):
+            _submit_mix(svc, rng)
+            svc.flush()
+        for i, worker in enumerate(svc.workers):
+            assert svc.busy_ns[i] == pytest.approx(worker.stats.device_ns)
+        assert svc.makespan_ns == max(svc.busy_ns)
+
+    def test_utilisation_sums_and_bounds_under_skewed_mix(self, rng):
+        svc = PoolScanService(3, config=toy_config(), batching=False)
+        heavy, _ = exact_fp16_scan_input(65_536, rng)
+        svc.submit(heavy, algorithm="mcscan", s=16)
+        for _ in range(5):
+            x, _e = exact_fp16_scan_input(4096, rng)
+            svc.submit(x, algorithm="scanu", s=16)
+        svc.flush()
+        util = svc.device_utilisation()
+        assert max(util) == 1.0
+        assert all(0.0 <= u <= 1.0 for u in util)
+        # utilisation is busy/makespan, so the sum matches total busy time
+        assert sum(util) == pytest.approx(
+            sum(svc.busy_ns) / svc.makespan_ns
+        )
+        # every request was served by exactly one worker launch
+        assert sum(len(w.stats.launches) for w in svc.workers) == 6
+        assert svc.total_requests == 6
+
+    def test_every_ticket_resolved_after_flush(self, svc, rng):
+        inputs = _submit_mix(svc, rng)
+        done = svc.flush()
+        assert {t.req_id for t in done} == set(inputs)
+        assert svc.pending == 0 and not svc._tickets
+        for worker in svc.workers:
+            assert not worker._tickets and len(worker.batcher) == 0
+
+
 class TestSharedTuning:
     def test_one_store_serves_all_members(self, rng):
         cfg = toy_config()
