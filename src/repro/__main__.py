@@ -20,6 +20,11 @@ Subcommands:
   (transient launch failures, engine slowdowns, one permanent device
   loss) and report retries, failovers and per-member health (``--smoke``
   runs the CI self-check);
+* ``fuzz`` — seeded schedule fuzzing of the serve/shard/fault stack:
+  every schedule-equivalent decision (drain order, routing tie-breaks,
+  fault timing) is driven by a recorded controller, invariants are
+  checked per seed, and failures are shrunk to a minimal decision trace
+  (``--smoke`` runs a short CI pass plus the pinned seed corpus);
 * ``sort`` / ``compress`` / ``topp`` — run one operator comparison.
 
 Examples::
@@ -543,6 +548,126 @@ def cmd_chaos(args) -> int:
     return 0 if exact == len(inputs) else 1
 
 
+def _fuzz_smoke() -> int:
+    """CI self-check for the schedule fuzzer: a short seed sweep over the
+    full workload matrix holds every invariant, the pinned seed corpus
+    replays clean, and a recorded decision trace replays
+    deterministically."""
+    from .verify import WORKLOAD_MATRIX, replay_corpus, run_fuzz, run_seed
+
+    failures = []
+
+    def check(cond: bool, msg: str) -> None:
+        print(f"{'PASS' if cond else 'FAIL'}  {msg}")
+        if not cond:
+            failures.append(msg)
+
+    report = run_fuzz(seeds=50)
+    check(
+        report.ok and report.seeds_run == 50,
+        f"50 fuzz seeds over {len(report.per_spec)} workloads: "
+        f"{report.served} requests served, {report.decisions} schedule "
+        f"decisions, {report.flush_faults} flush-level faults absorbed",
+    )
+    for failure in report.failures:
+        print(failure.describe())
+
+    corpus = replay_corpus()
+    check(
+        corpus.ok,
+        f"seed corpus: {corpus.seeds_run} pinned seed(s) replay clean",
+    )
+    for failure in corpus.failures:
+        print(failure.describe())
+
+    spec = WORKLOAD_MATRIX[0]
+    first = run_seed(spec, 3)
+    again = run_seed(spec, 3, trace=first.trace)
+    check(
+        first.ok and again.ok and first.trace == again.trace,
+        f"recorded trace ({len(first.trace)} decisions) replays "
+        f"deterministically",
+    )
+
+    if failures:
+        print(f"\nfuzz smoke: {len(failures)} check(s) failed")
+        return 1
+    print("\nfuzz smoke: all checks passed")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    import json
+
+    from .verify import (
+        WORKLOAD_MATRIX,
+        failure_to_json,
+        replay_corpus,
+        run_fuzz,
+        run_seed,
+        shrink_trace,
+    )
+
+    if args.smoke:
+        return _fuzz_smoke()
+
+    specs = list(WORKLOAD_MATRIX)
+    if args.spec:
+        specs = [s for s in specs if s.name == args.spec]
+        if not specs:
+            print(f"unknown workload {args.spec!r}; known: "
+                  f"{', '.join(s.name for s in WORKLOAD_MATRIX)}")
+            return 1
+
+    if args.replay is not None:
+        spec = specs[0] if args.spec else WORKLOAD_MATRIX[0]
+        result = run_seed(spec, args.replay)
+        print(f"seed {args.replay} on {spec.describe()}")
+        print(f"  {len(result.trace)} decisions, {result.served} requests "
+              f"served, {result.flush_faults} flush-level faults")
+        if result.ok:
+            print("  all invariants held")
+            return 0
+        for v in result.violations:
+            print(f"  {v.describe()}")
+        if not args.no_shrink:
+            shrunk = shrink_trace(spec, args.replay, result.trace)
+            hot = [d for d in shrunk if d.pick]
+            print(f"  shrunk to {len(shrunk)} decision(s) "
+                  f"({len(hot)} non-canonical):")
+            for d in hot:
+                print(f"    {d.describe()}")
+        return 1
+
+    if args.replay_corpus:
+        report = replay_corpus()
+        print(report.describe())
+        return 0 if report.ok else 1
+
+    def progress(done: int, total: int, nfail: int) -> None:
+        if done % 200 == 0 or done == total:
+            print(f"  {done}/{total} seeds, {nfail} failure(s)")
+
+    report = run_fuzz(
+        specs,
+        seeds=args.seeds,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    print(report.describe())
+    if args.save_failures and report.failures:
+        with open(args.save_failures, "w") as f:
+            json.dump(
+                {"failures": [failure_to_json(x) for x in report.failures]},
+                f,
+                indent=2,
+            )
+            f.write("\n")
+        print(f"wrote {len(report.failures)} repro bundle(s) to "
+              f"{args.save_failures}")
+    return 0 if report.ok else 1
+
+
 def cmd_sort(args) -> int:
     n = _parse_size(args.n)
     rng = np.random.default_rng(args.seed)
@@ -699,6 +824,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI self-check: faults absorbed, failover keeps "
                     "results bit-identical, health reported")
     px.set_defaults(fn=cmd_chaos)
+
+    pf = sub.add_parser(
+        "fuzz", help="seeded schedule fuzzing of the serving stack"
+    )
+    pf.add_argument("--seeds", type=int, default=1000,
+                    help="number of fuzz seeds (round-robin over the "
+                    "workload matrix)")
+    pf.add_argument("--spec", default=None,
+                    help="fuzz only this workload (by name)")
+    pf.add_argument("--replay", type=int, default=None, metavar="SEED",
+                    help="replay one seed verbosely (with --spec to pick "
+                    "its workload) and shrink it if it fails")
+    pf.add_argument("--replay-corpus", action="store_true",
+                    help="re-run only the pinned seed corpus")
+    pf.add_argument("--no-shrink", action="store_true",
+                    help="skip trace shrinking on failures")
+    pf.add_argument("--save-failures", metavar="PATH",
+                    help="write failing seeds + traces as JSON repro bundles")
+    pf.add_argument("--smoke", action="store_true",
+                    help="CI self-check: 50-seed sweep, corpus replay, "
+                    "deterministic trace replay")
+    pf.set_defaults(fn=cmd_fuzz)
 
     po = sub.add_parser("sort", help="radix sort vs torch.sort")
     po.add_argument("-n", default="1M")

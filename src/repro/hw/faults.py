@@ -60,6 +60,11 @@ class FaultPlan:
     vec_slowdown: float = 1.0
     #: launch index at which the device is lost for good (None = never)
     die_at_launch: "int | None" = None
+    #: optional :class:`repro.verify.ScheduleController`; when attached,
+    #: transient-fault *timing* is decided (and recorded) by the
+    #: controller instead of the plan's private rng, so a fuzz run can
+    #: replay or shrink the exact launches that faulted
+    controller: "object | None" = None
 
     #: launches attempted against this device (fault draws consumed)
     launches: int = field(default=0, init=False)
@@ -106,7 +111,16 @@ class FaultPlan:
                 permanent=True,
                 launch_index=index,
             )
-        if self.transient_rate and self._rng.random() < self.transient_rate:
+        if self.controller is not None:
+            fired = self.controller.chance(
+                f"fault.{device}", self.transient_rate
+            )
+        else:
+            fired = bool(
+                self.transient_rate
+                and self._rng.random() < self.transient_rate
+            )
+        if fired:
             self.transient_faults += 1
             raise DeviceFault(
                 f"transient launch failure on {device} (launch {index})",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import random
 from dataclasses import dataclass
 
 from ..errors import DeadlockError, SchedulerError
@@ -110,12 +111,43 @@ class Timeline:
         return (self.start_ns[op_id], self.finish_ns[op_id])
 
 
-def simulate(program: Program, config: DeviceConfig) -> Timeline:
-    """Run the DES over ``program`` and return its timeline."""
+#: number of engine-iteration orders the schedule controller picks from;
+#: salt 0 is the canonical issue order, the rest are derived shuffles
+_ENGINE_ORDER_SALTS = 16
+
+
+def simulate(
+    program: Program, config: DeviceConfig, *, controller=None
+) -> Timeline:
+    """Run the DES over ``program`` and return its timeline.
+
+    ``controller`` (a :class:`repro.verify.ScheduleController`) permutes
+    the *engine pick order* — the order ready engines are started and
+    simultaneous completions are processed.  A correct machine model is
+    insensitive to it (ops ready at time ``t`` start at ``t`` whichever
+    engine is polled first), so the schedule fuzzer asserts the timeline
+    is bit-identical with and without a controller; any divergence is a
+    hidden order dependence in the scheduler itself.  One decision is
+    recorded per run (a salt selecting the iteration order), keeping
+    decision traces small enough to shrink.
+    """
     ops = program.ops
     n = len(ops)
     if n == 0:
         return Timeline([], [], 0.0)
+
+    # engine iteration order under the schedule controller: salt 0 (the
+    # shrinking target) is canonical issue order, other salts shuffle both
+    # the engine polling order and same-time completion processing
+    shuffle_rng: "random.Random | None" = None
+    engine_rank = None
+    if controller is not None:
+        salt = controller.choose("sched.engine_order", _ENGINE_ORDER_SALTS)
+        if salt:
+            shuffle_rng = random.Random((0x5EED << 8) | salt)
+            order = list(range(program.num_engines))
+            shuffle_rng.shuffle(order)
+            engine_rank = {e: i for i, e in enumerate(order)}
 
     start_ns = [-1.0] * n
     finish_ns = [-1.0] * n
@@ -179,9 +211,16 @@ def simulate(program: Program, config: DeviceConfig) -> Timeline:
             heapq.heappush(fixed_heap, (t + duration, op_id))
         return True
 
+    def engine_order(engines) -> list:
+        """Iteration order over an engine set: canonical (ascending id)
+        or the controller-salted rank."""
+        if engine_rank is None:
+            return sorted(set(engines))
+        return sorted(set(engines), key=engine_rank.__getitem__)
+
     def start_all_ready() -> None:
         """Initial sweep: start everything startable on every engine."""
-        for e in range(program.num_engines):
+        for e in engine_order(range(program.num_engines)):
             try_start(e)
 
     def complete(op_id: int) -> list[int]:
@@ -246,6 +285,8 @@ def simulate(program: Program, config: DeviceConfig) -> Timeline:
         finished_flows = [
             fid for fid, rem in draining.items() if rem <= drain_eps
         ]
+        if shuffle_rng is not None:
+            shuffle_rng.shuffle(finished_flows)
         for fid in finished_flows:
             del draining[fid]
             touched_engines.extend(complete(fid))
@@ -268,7 +309,7 @@ def simulate(program: Program, config: DeviceConfig) -> Timeline:
         # op never resolves anyone else's dependencies), so one pass over the
         # touched set is sufficient -- and keeps the loop O(events), not
         # O(events x engines).
-        for e in set(touched_engines):
+        for e in engine_order(touched_engines):
             try_start(e)
 
     return Timeline(start_ns, finish_ns, t)

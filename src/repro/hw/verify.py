@@ -1,150 +1,20 @@
-"""Independent synchronization-coverage verification.
+"""Backwards-compatible shim: the sync-coverage checker moved to
+:mod:`repro.verify.sync` when verification grew into its own package
+(schedule fuzzing + invariants + sync coverage).  Import from
+``repro.verify`` in new code."""
 
-The :class:`~repro.hw.device.Emitter` derives dependency edges from hazard
-records as it emits ops.  This module re-checks the result from first
-principles, in the spirit of hardware-agnostic sync checkers: given the
-per-op data-access log recorded under ``AscendDevice(audit_hazards=True)``,
-every pair of ops that touches overlapping data with at least one write
-must be ordered by happens-before — the transitive closure of
-
-* explicit dependency edges (``program.deps_of(op_id)``, the program-side
-  effective deps which include barrier fences), and
-* per-engine program order (hardware instruction queues are in-order, so
-  consecutive ops on one engine are implicitly ordered).
-
-Any conflicting pair not so ordered is a race the scheduler could legally
-reorder, i.e. a missing queue edge or ``SyncAll``.  The checker is
-deliberately independent of the emitter's hazard bookkeeping: it only
-consumes the access log and the final op DAG, so a bug in hazard
-derivation shows up as a reported violation rather than being trusted.
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass, field
-
-from ..errors import KernelError
-from .device import HazardAccess, TracedKernel
-from .scheduler import Program
+from ..verify.sync import (
+    SyncCoverageReport,
+    SyncViolation,
+    ancestor_bitsets,
+    check_accesses,
+    check_sync_coverage,
+)
 
 __all__ = [
     "SyncViolation",
     "SyncCoverageReport",
     "ancestor_bitsets",
+    "check_accesses",
     "check_sync_coverage",
 ]
-
-
-@dataclass(frozen=True)
-class SyncViolation:
-    """A conflicting access pair with no happens-before ordering."""
-
-    earlier: int  # op id
-    later: int  # op id
-    space: str  # "gm" or "local"
-    key: int
-
-    def describe(self, program: Program) -> str:
-        a, b = program.ops[self.earlier], program.ops[self.later]
-        return (
-            f"ops {self.earlier} ({a.label!r} on engine {a.engine}) and "
-            f"{self.later} ({b.label!r} on engine {b.engine}) conflict on "
-            f"{self.space} location {self.key:#x} without ordering"
-        )
-
-
-@dataclass
-class SyncCoverageReport:
-    """Result of one coverage check."""
-
-    ops: int
-    accesses: int
-    #: conflicting (overlap + at least one write) pairs that were verified
-    checked_pairs: int
-    violations: "list[SyncViolation]" = field(default_factory=list)
-
-    @property
-    def ok(self) -> bool:
-        return not self.violations
-
-
-def ancestor_bitsets(program: Program) -> "list[int]":
-    """Happens-before closure as one int bitset per op (bit d of entry i
-    set iff op d must finish before op i starts).
-
-    Ops are emitted with ``deps < op_id`` and engine queues follow emission
-    order, so op-id order is already topological.
-    """
-    n = len(program.ops)
-    anc = [0] * n
-    engine_prev = [-1] * program.num_engines
-    for op in program.ops:
-        mask = 0
-        prev = engine_prev[op.engine]
-        deps = program.deps_of(op.op_id)
-        preds = deps if prev < 0 else (*deps, prev)
-        for d in preds:
-            mask |= anc[d] | (1 << d)
-        anc[op.op_id] = mask
-        engine_prev[op.engine] = op.op_id
-    return anc
-
-
-def check_sync_coverage(traced: TracedKernel) -> SyncCoverageReport:
-    """Verify every cross-op data conflict in ``traced`` is ordered.
-
-    Requires the kernel to have been traced on a device constructed with
-    ``audit_hazards=True`` (otherwise there is no access log to check).
-    """
-    if traced.audit is None:
-        raise KernelError(
-            "kernel was traced without an access log; construct the device "
-            "with AscendDevice(audit_hazards=True)"
-        )
-    return check_accesses(traced.program, traced.audit)
-
-
-def check_accesses(
-    program: Program, audit: "list[HazardAccess]"
-) -> SyncCoverageReport:
-    """Core checker over an explicit (program, access log) pair."""
-    anc = ancestor_bitsets(program)
-
-    by_location: dict[tuple[str, int], list[HazardAccess]] = {}
-    for access in audit:
-        by_location.setdefault((access.space, access.key), []).append(access)
-
-    checked = 0
-    violations: list[SyncViolation] = []
-    seen: set[tuple[int, int]] = set()
-    for (space, key), accesses in by_location.items():
-        accesses.sort(key=lambda a: a.op_id)
-        for j, later in enumerate(accesses):
-            later_bit = 1 << later.op_id
-            for earlier in accesses[:j]:
-                if earlier.op_id == later.op_id:
-                    continue  # one op may read and write the same location
-                if not (earlier.is_write or later.is_write):
-                    continue
-                if earlier.start >= later.end or later.start >= earlier.end:
-                    continue
-                checked += 1
-                # ordered either way: emission order is not execution order,
-                # so an explicit later->earlier edge also serialises the pair
-                if anc[later.op_id] & (1 << earlier.op_id):
-                    continue
-                if anc[earlier.op_id] & later_bit:
-                    continue
-                pair = (earlier.op_id, later.op_id)
-                if pair not in seen:
-                    seen.add(pair)
-                    violations.append(
-                        SyncViolation(earlier.op_id, later.op_id, space, key)
-                    )
-
-    return SyncCoverageReport(
-        ops=len(program.ops),
-        accesses=len(audit),
-        checked_pairs=checked,
-        violations=violations,
-    )

@@ -101,13 +101,23 @@ class RequestBatcher:
     """Accumulates requests and partitions them into launch groups."""
 
     def __init__(
-        self, cache: PlanCache, *, max_batch: int = 64, min_group: int = 2
+        self,
+        cache: PlanCache,
+        *,
+        max_batch: int = 64,
+        min_group: int = 2,
+        controller=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.cache = cache
         self.max_batch = max_batch
         self.min_group = min_group
+        #: optional :class:`repro.verify.ScheduleController`; permutes the
+        #: pending-queue order seen by ``drain``/``take_pending`` so the
+        #: fuzzer can exercise every coalescing/failover interleaving
+        #: (results must be submission-order independent)
+        self.controller = controller
         self._pending: list[ScanRequest] = []
         #: requests that rode a batched launch / total drained, for stats
         self.coalesced = 0
@@ -123,9 +133,13 @@ class RequestBatcher:
         """Remove and return every queued request (failover drain).
 
         The device-pool serving layer uses this to recall work from a
-        member that faulted before its queue was flushed.
+        member that faulted before its queue was flushed.  Under a
+        schedule controller the recall order is permuted — rerouted work
+        must serve correctly whatever order the drain observes.
         """
         pending, self._pending = self._pending, []
+        if self.controller is not None and len(pending) > 1:
+            pending = self.controller.permute("batcher.take_pending", pending)
         return pending
 
     def _batchable(self, request: ScanRequest) -> bool:
@@ -141,6 +155,8 @@ class RequestBatcher:
         two <= ``max_batch``).
         """
         pending, self._pending = self._pending, []
+        if self.controller is not None and len(pending) > 1:
+            pending = self.controller.permute("batcher.drain", pending)
         self.drained += len(pending)
         by_shape: dict[PlanKey, LaunchGroup] = {}
         order: list[LaunchGroup] = []

@@ -90,6 +90,7 @@ class ScanService:
         gm_budget: "int | None" = None,
         tune_store=None,
         retry: "RetryPolicy | None" = None,
+        controller=None,
     ):
         self.ctx = ctx if ctx is not None else ScanContext(config)
         #: bounded-retry discipline for transient DeviceFaults
@@ -112,6 +113,7 @@ class ScanService:
             max_batch=max_batch,
             # min_group above any queue length disables coalescing entirely
             min_group=min_group if batching else (1 << 62),
+            controller=controller,
         )
         self.stats = ServiceStats()
         self._tickets: dict[int, ScanTicket] = {}

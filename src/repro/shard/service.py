@@ -20,8 +20,6 @@ wall-clock of the whole mix.
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
 from ..errors import DeviceFault
@@ -57,6 +55,7 @@ class PoolScanService:
         validate_plans: bool = True,
         gm_budget: "int | None" = None,
         retry: "RetryPolicy | None" = None,
+        controller=None,
     ):
         self.pool = (
             pool
@@ -66,6 +65,10 @@ class PoolScanService:
         self.tune_store = (
             tune_store if tune_store is not None else self.pool.tune_store
         )
+        #: optional :class:`repro.verify.ScheduleController`; permutes the
+        #: launch-group pick order (simulated member completion order),
+        #: routing tie-breaks, and every member batcher's drain order
+        self.controller = controller
         self.workers = [
             ScanService(
                 ctx,
@@ -76,6 +79,7 @@ class PoolScanService:
                 gm_budget=gm_budget,
                 tune_store=self.tune_store,
                 retry=retry,
+                controller=controller,
             )
             for ctx in self.pool
         ]
@@ -85,6 +89,7 @@ class PoolScanService:
             self.workers[0].cache,
             max_batch=max_batch,
             min_group=min_group if batching else (1 << 62),
+            controller=controller,
         )
         #: accumulated simulated busy ns per member (the routing load)
         self.busy_ns = [0.0] * len(self.workers)
@@ -142,17 +147,23 @@ class PoolScanService:
     def _route_target(self) -> int:
         """Least-loaded alive member, weighting accumulated busy time by
         each member's observed slowdown — a degraded device looks
-        proportionally busier, so new work drifts to healthy members."""
+        proportionally busier, so new work drifts to healthy members.
+
+        Load ties (common on a fresh pool) are broken by the schedule
+        controller when one is attached: tied members are interchangeable,
+        so results must not depend on which wins."""
         alive = self._alive()
         if not alive:
             raise DeviceFault(
                 "every pool member is dead; no device left to serve on",
                 permanent=True,
             )
-        return min(
-            alive,
-            key=lambda i: self.busy_ns[i] * self.workers[i].observed_slowdown,
-        )
+        load = lambda i: self.busy_ns[i] * self.workers[i].observed_slowdown
+        best = min(load(i) for i in alive)
+        tied = [i for i in alive if load(i) == best]
+        if self.controller is not None and len(tied) > 1:
+            return tied[self.controller.choose("pool.route", len(tied))]
+        return tied[0]
 
     def flush(self) -> "list[ScanTicket]":
         """Route every queued launch group and serve it; returns tickets in
@@ -173,10 +184,16 @@ class PoolScanService:
         groups = self.batcher.drain()
         # LPT: heaviest groups place first, onto the least-busy member
         groups.sort(key=lambda g: g.padded_elements, reverse=True)
-        queue = deque((group, 0) for group in groups)
+        queue = [(group, 0) for group in groups]
         completed: list[ScanTicket] = []
         while queue:
-            group, failovers = queue.popleft()
+            # the schedule controller picks which queued group goes next —
+            # the simulated analogue of members completing (and freeing
+            # routing capacity) in an arbitrary order
+            pick = 0
+            if self.controller is not None and len(queue) > 1:
+                pick = self.controller.choose("pool.group", len(queue))
+            group, failovers = queue.pop(pick)
             try:
                 target = self._route_target()
             except DeviceFault:

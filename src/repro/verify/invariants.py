@@ -1,0 +1,290 @@
+"""Linearizability-style invariants for the serve/shard/fault stack.
+
+The schedule fuzzer (:mod:`repro.verify.fuzz`) runs the serving layers
+under a :class:`~repro.verify.controller.ScheduleController` and asserts,
+for every seed, the properties the stack promises regardless of
+schedule:
+
+* **oracle bit-identity** — every completed ticket's values equal the
+  NumPy reference scan of its submitted input, bit for bit.  Plans are
+  deterministic and device-independent, so no interleaving (batching
+  split, retry, failover onto another member) may change a result.
+* **exactly-once resolution** — every submitted request completes on
+  exactly one ticket: none lost across failover drains, none served
+  twice by a reroute racing a partially-flushed member.
+* **monotone simulated time** — per-member simulated device time and
+  pool busy time only move forward; retries and backoff charge time,
+  never refund it.
+* **GM accounting** — after the run, each member's allocated device
+  memory equals its pre-run baseline plus exactly the bytes its plan
+  cache still pins (``cache.gm_bytes``).  A plan leaked past
+  :class:`~repro.serve.plan.PlanCache` eviction shows up as a positive
+  residue; a double release as a negative one.
+
+The checker is passive: it observes submissions and flush results and
+inspects public state, never steering execution, so the schedule under
+test is exactly the controller's.
+
+:func:`check_schedule_invariance` covers the device scheduler seam: the
+DES is insensitive to engine polling order by construction, so replaying
+one traced program with and without a controller must produce
+bit-identical timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.reference import exclusive_scan, inclusive_scan
+
+__all__ = [
+    "InvariantViolation",
+    "ServeInvariantChecker",
+    "check_schedule_invariance",
+]
+
+
+def _plan_pinned_bytes(worker) -> int:
+    """Allocator-side footprint of the plans the worker's cache pins.
+
+    ``cache.gm_bytes`` counts raw tensor bytes, but the allocator rounds
+    every allocation up to :attr:`GlobalMemory.ALIGN
+    <repro.hw.memory.GlobalMemory.ALIGN>` — the accounting identity must
+    compare like with like or alignment padding reads as a leak."""
+    align = worker.ctx.device.memory.ALIGN
+    return sum(
+        -(-max(t.nbytes, 1) // align) * align
+        for plan in worker.cache._plans.values()
+        for t in plan.gm_tensors
+    )
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with enough detail to debug the seed."""
+
+    #: which invariant broke (``oracle``, ``exactly_once``,
+    #: ``monotone_time``, ``gm_accounting``, ``queue_drained``,
+    #: ``schedule_invariance``)
+    invariant: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+class ServeInvariantChecker:
+    """Observes one service (a :class:`~repro.serve.service.ScanService`
+    or :class:`~repro.shard.service.PoolScanService`) through a fuzz run.
+
+    Usage::
+
+        checker = ServeInvariantChecker(svc)       # captures GM baseline
+        ticket = svc.submit(x); checker.expect(ticket, x)
+        ...
+        checker.observe(svc.flush())
+        ...
+        violations = checker.finish()              # terminal checks
+
+    Construct it **after** warming shared state (constants for every
+    (s, dtype) the run will touch): shared constant uploads are not
+    plan-owned, and first-touch allocations after the baseline snapshot
+    would read as leaks.
+    """
+
+    def __init__(self, svc):
+        self.svc = svc
+        self.workers = list(getattr(svc, "workers", None) or [svc])
+        self.violations: list[InvariantViolation] = []
+        self._expected: dict[int, np.ndarray] = {}
+        self._served: dict[int, int] = {}
+        #: non-plan GM per member: everything allocated outside the plan
+        #: cache (constants, warm buffers).  Must be invariant over the run.
+        self._gm_baseline = [
+            w.ctx.device.memory.used_bytes - _plan_pinned_bytes(w)
+            for w in self.workers
+        ]
+        self._last_device_ns = [w.stats.device_ns for w in self.workers]
+        self._last_busy = list(getattr(svc, "busy_ns", []))
+
+    # -- observation hooks --------------------------------------------------
+
+    def expect(self, ticket, x: np.ndarray) -> None:
+        """Register a submitted request and its oracle result."""
+        if ticket.req_id in self._expected:
+            self._fail(
+                "exactly_once",
+                f"req {ticket.req_id} submitted twice (ticket id reuse)",
+            )
+            return
+        oracle = exclusive_scan if ticket.exclusive else inclusive_scan
+        self._expected[ticket.req_id] = oracle(np.asarray(x))
+
+    def observe(self, completed) -> None:
+        """Check one flush's completed tickets and the time axis."""
+        for ticket in completed:
+            count = self._served.get(ticket.req_id, 0) + 1
+            self._served[ticket.req_id] = count
+            if count > 1:
+                self._fail(
+                    "exactly_once",
+                    f"req {ticket.req_id} resolved {count} times",
+                )
+                continue
+            expected = self._expected.get(ticket.req_id)
+            if expected is None:
+                self._fail(
+                    "exactly_once",
+                    f"req {ticket.req_id} completed but was never submitted",
+                )
+                continue
+            if not ticket.done:
+                self._fail(
+                    "oracle",
+                    f"req {ticket.req_id} returned by flush but not done",
+                )
+            if ticket.values is None or not np.array_equal(
+                ticket.values, expected
+            ):
+                got = (
+                    "None"
+                    if ticket.values is None
+                    else f"shape {ticket.values.shape}"
+                )
+                self._fail(
+                    "oracle",
+                    f"req {ticket.req_id} (n={ticket.n}, "
+                    f"{ticket.algorithm}/{ticket.dtype}) diverges from the "
+                    f"reference scan (got {got})",
+                )
+            if ticket.device_ns < 0:
+                self._fail(
+                    "monotone_time",
+                    f"req {ticket.req_id} served in negative simulated "
+                    f"time ({ticket.device_ns} ns)",
+                )
+        self._check_time_axis()
+
+    def _check_time_axis(self) -> None:
+        for i, worker in enumerate(self.workers):
+            now = worker.stats.device_ns
+            if now < self._last_device_ns[i] - 1e-6:
+                self._fail(
+                    "monotone_time",
+                    f"member {i} simulated time went backwards: "
+                    f"{now} < {self._last_device_ns[i]}",
+                )
+            self._last_device_ns[i] = now
+        busy = getattr(self.svc, "busy_ns", None)
+        if busy is not None:
+            for i, b in enumerate(busy):
+                if b < self._last_busy[i] - 1e-6:
+                    self._fail(
+                        "monotone_time",
+                        f"member {i} pool busy time went backwards: "
+                        f"{b} < {self._last_busy[i]}",
+                    )
+            self._last_busy = list(busy)
+
+    # -- terminal checks ----------------------------------------------------
+
+    def finish(self) -> "list[InvariantViolation]":
+        """Run end-of-seed checks; returns all violations recorded."""
+        self._check_time_axis()
+        missing = sorted(
+            rid for rid in self._expected if rid not in self._served
+        )
+        if missing:
+            self._fail(
+                "exactly_once",
+                f"{len(missing)} request(s) lost (never resolved): "
+                f"{missing[:8]}",
+            )
+        if self.svc.pending:
+            self._fail(
+                "queue_drained",
+                f"{self.svc.pending} request(s) still queued after the "
+                f"final flush",
+            )
+        leftovers = len(getattr(self.svc, "_tickets", {}))
+        for worker in self.workers:
+            if worker is not self.svc:
+                if worker.pending:
+                    self._fail(
+                        "queue_drained",
+                        f"member batcher still holds {worker.pending} "
+                        f"request(s)",
+                    )
+                leftovers += len(worker._tickets)
+        if leftovers:
+            self._fail(
+                "exactly_once",
+                f"{leftovers} ticket(s) still tracked after the final "
+                f"flush (lost work)",
+            )
+        for i, worker in enumerate(self.workers):
+            used = worker.ctx.device.memory.used_bytes
+            pinned = _plan_pinned_bytes(worker)
+            residue = used - pinned - self._gm_baseline[i]
+            if residue:
+                kind = "leaked past eviction" if residue > 0 else "released twice"
+                self._fail(
+                    "gm_accounting",
+                    f"member {i} GM off by {residue:+d} bytes ({kind}): "
+                    f"{used} used, {pinned} pinned by the plan cache, "
+                    f"baseline {self._gm_baseline[i]}",
+                )
+            budget = worker.cache.gm_budget
+            # a single oversized plan may legitimately pin more than the
+            # budget (eviction never empties the cache); two or more may not
+            if (
+                budget is not None
+                and worker.cache.gm_bytes > budget
+                and len(worker.cache) > 1
+            ):
+                self._fail(
+                    "gm_accounting",
+                    f"member {i} plan cache pins {worker.cache.gm_bytes} "
+                    f"bytes across {len(worker.cache)} plans, over its "
+                    f"{budget}-byte budget",
+                )
+        return self.violations
+
+    def _fail(self, invariant: str, detail: str) -> None:
+        self.violations.append(InvariantViolation(invariant, detail))
+
+
+def check_schedule_invariance(
+    traced, config, controller
+) -> "InvariantViolation | None":
+    """Assert the DES timeline is independent of engine polling order.
+
+    Replays ``traced.program`` once canonically and once under
+    ``controller`` (which salts the engine iteration order, see
+    :func:`repro.hw.scheduler.simulate`); any per-op start/finish or
+    makespan difference is a hidden order dependence in the scheduler.
+    """
+    from ..hw.scheduler import simulate
+
+    baseline = simulate(traced.program, config)
+    salted = simulate(traced.program, config, controller=controller)
+    if (
+        baseline.start_ns != salted.start_ns
+        or baseline.finish_ns != salted.finish_ns
+        or baseline.total_ns != salted.total_ns
+    ):
+        diffs = [
+            i
+            for i in range(len(baseline.start_ns))
+            if baseline.start_ns[i] != salted.start_ns[i]
+            or baseline.finish_ns[i] != salted.finish_ns[i]
+        ]
+        return InvariantViolation(
+            "schedule_invariance",
+            f"timeline depends on engine polling order: {len(diffs)} op(s) "
+            f"moved (first: {diffs[:5]}), makespan {baseline.total_ns} vs "
+            f"{salted.total_ns}",
+        )
+    return None

@@ -270,3 +270,178 @@ class TestFree:
         assert mem.used_bytes == baseline
         c = mem.alloc("c", 1024, "fp16")
         assert c.base_addr == a.base_addr
+
+
+# ---------------------------------------------------------------------------
+# Property-based suite: the allocator under randomly interleaved scripts.
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+#: (opcode, argument) pairs interpreted by _run_script; opcodes below
+#: _ALLOC_BIAS allocate, the rest free a live tensor (argument picks which)
+_SCRIPTS = st.lists(
+    st.tuples(st.integers(0, 99), st.integers(0, 2**16 - 1)),
+    min_size=1,
+    max_size=60,
+)
+_ALLOC_BIAS = 55
+
+_PROP_DTYPES = ("fp16", "int8", "fp32")
+
+
+def _aligned(nbytes: int) -> int:
+    a = GlobalMemory.ALIGN
+    return -(-max(nbytes, 1) // a) * a
+
+
+def _pattern(n: int, serial: int, dtype: str) -> np.ndarray:
+    """A per-allocation fingerprint that survives every dtype."""
+    return ((np.arange(n) + serial) % 97 - 48).astype(
+        {"fp16": np.float16, "int8": np.int8, "fp32": np.float32}[dtype]
+    )
+
+
+def _check_allocator_invariants(mem, live, patterns):
+    """The whole-allocator contract, asserted after every script step."""
+    spans = sorted(
+        (t.base_addr, t.base_addr + _aligned(t.nbytes)) for t in live
+    )
+    for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+        assert a_end <= b_start, "overlapping live allocations"
+    # every byte below the frontier is either a hole or a live allocation
+    assert mem.used_bytes == sum(end - start for start, end in spans)
+    holes = mem._holes
+    for (a, asize), (b, _) in zip(holes, holes[1:]):
+        assert a + asize < b, "adjacent holes left uncoalesced"
+    if holes:
+        last_addr, last_size = holes[-1]
+        assert last_addr + last_size < mem._next_addr, (
+            "hole touching the frontier was not retired"
+        )
+    for t in live:
+        assert np.array_equal(t.to_numpy().reshape(-1), patterns[id(t)]), (
+            f"allocation {t.name!r} lost its written contents"
+        )
+
+
+class TestAllocFreeProperties:
+    """Random interleaved alloc/free scripts against a model of the
+    allocator: no two live allocations overlap, adjacent holes coalesce,
+    a hole reaching the frontier retreats it, ``used_bytes`` equals the
+    sum of aligned live sizes, and written data survives any free order.
+    """
+
+    @given(script=_SCRIPTS)
+    @settings(max_examples=50, derandomize=True, deadline=None)
+    def test_interleaved_alloc_free_script(self, script):
+        mem = GlobalMemory(toy_config())
+        live: list = []
+        patterns: dict[int, np.ndarray] = {}
+        for serial, (opcode, arg) in enumerate(script):
+            if opcode < _ALLOC_BIAS or not live:
+                dtype = _PROP_DTYPES[arg % len(_PROP_DTYPES)]
+                n = arg % 1500 + 1
+                t = mem.alloc(f"t{serial}", n, dtype)
+                vals = _pattern(n, serial, dtype)
+                t.write(vals)
+                live.append(t)
+                patterns[id(t)] = vals
+            else:
+                t = live.pop(arg % len(live))
+                freed = mem.free(t)
+                assert freed == _aligned(t.nbytes)
+                del patterns[id(t)]
+            _check_allocator_invariants(mem, live, patterns)
+        # drain: whatever the free order, all holes coalesce into the
+        # frontier and the allocator returns to empty
+        while live:
+            t = live.pop(len(live) // 2)
+            mem.free(t)
+            del patterns[id(t)]
+            _check_allocator_invariants(mem, live, patterns)
+        assert mem.used_bytes == 0
+        assert mem._next_addr == 0
+        assert mem._holes == []
+
+    @given(script=_SCRIPTS)
+    @settings(max_examples=25, derandomize=True, deadline=None)
+    def test_double_free_always_diagnosed_and_harmless(self, script):
+        """Re-freeing any handle raises the 'double free' diagnostic and
+        leaves the allocator byte-for-byte unchanged."""
+        mem = GlobalMemory(toy_config())
+        live: list = []
+        retired: list = []
+        for serial, (opcode, arg) in enumerate(script):
+            if opcode < _ALLOC_BIAS or not live:
+                live.append(mem.alloc(f"t{serial}", arg % 800 + 1, "fp16"))
+            else:
+                t = live.pop(arg % len(live))
+                mem.free(t)
+                retired.append(t)
+            if retired:
+                stale = retired[arg % len(retired)]
+                used, frontier = mem.used_bytes, mem._next_addr
+                holes = list(mem._holes)
+                with pytest.raises(AllocationError, match="double free"):
+                    mem.free(stale)
+                assert (mem.used_bytes, mem._next_addr) == (used, frontier)
+                assert mem._holes == holes
+
+    @given(script=_SCRIPTS)
+    @settings(max_examples=25, derandomize=True, deadline=None)
+    def test_view_free_always_diagnosed_and_harmless(self, script):
+        """Freeing a prefix view of any live tensor is always rejected
+        with the 'view' diagnostic and never mutates allocator state."""
+        mem = GlobalMemory(toy_config())
+        live: list = []
+        for serial, (opcode, arg) in enumerate(script):
+            if opcode < _ALLOC_BIAS or not live:
+                live.append(mem.alloc(f"t{serial}", arg % 800 + 2, "fp16"))
+            else:
+                t = live[arg % len(live)]
+                view = t.prefix(arg % (t.num_elements - 1) + 1)
+                used, frontier = mem.used_bytes, mem._next_addr
+                with pytest.raises(AllocationError, match="view"):
+                    mem.free(view)
+                assert (mem.used_bytes, mem._next_addr) == (used, frontier)
+                assert len(mem.tensors) == len(live)
+
+    @given(
+        rounds=st.lists(
+            st.lists(st.integers(1, 1200), min_size=1, max_size=5),
+            min_size=1,
+            max_size=6,
+        ),
+        base_sizes=st.lists(st.integers(1, 600), min_size=1, max_size=4),
+    )
+    @settings(max_examples=25, derandomize=True, deadline=None)
+    def test_mark_release_restores_accounting(self, rounds, base_sizes):
+        """mark/release scopes around random temporary allocations always
+        restore used_bytes and the live-tensor set exactly, and never
+        disturb pre-mark data."""
+        mem = GlobalMemory(toy_config())
+        base = []
+        for i, n in enumerate(base_sizes):
+            t = mem.alloc(f"base{i}", n, "fp16")
+            t.write(_pattern(n, i, "fp16"))
+            base.append(t)
+        baseline = mem.used_bytes
+        names = [t.name for t in mem.tensors]
+        for r, sizes in enumerate(rounds):
+            mark = mem.mark()
+            temps = [
+                mem.alloc(f"tmp{r}_{j}", n, "fp16")
+                for j, n in enumerate(sizes)
+            ]
+            assert mem.used_bytes > baseline
+            if len(temps) > 1:  # post-mark frees stay legal under a mark
+                mem.free(temps.pop())
+            mem.release(mark)
+            assert mem.used_bytes == baseline
+            assert [t.name for t in mem.tensors] == names
+        for i, t in enumerate(base):
+            assert np.array_equal(
+                t.to_numpy().reshape(-1), _pattern(t.num_elements, i, "fp16")
+            )

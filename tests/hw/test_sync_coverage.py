@@ -1,6 +1,6 @@
 """Sync-coverage verification: every cross-engine data dependency in the
 emitted op DAGs must be ordered by a queue edge, an explicit dep, or a
-SyncAll barrier (see repro.hw.verify).
+SyncAll barrier (see repro.verify.sync).
 
 The checker works from the independent per-op access log recorded under
 ``audit_hazards=True``, so these tests catch hazard-derivation bugs that
@@ -25,7 +25,7 @@ from repro.hw.config import toy_config
 from repro.hw.device import AscendDevice, HazardAccess
 from repro.hw.isa import Op
 from repro.hw.scheduler import Program
-from repro.hw.verify import check_accesses, check_sync_coverage
+from repro.verify import check_accesses, check_sync_coverage
 
 
 @pytest.fixture()

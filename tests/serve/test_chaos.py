@@ -19,10 +19,23 @@ from repro.hw import FaultPlan
 from repro.hw.config import toy_config
 from repro.serve import DEAD, DEGRADED, HEALTHY, RetryPolicy, ScanService
 from repro.shard import DevicePool, PoolScanService
+from repro.verify import FUZZ_SEED0
+
+#: every seed in this suite derives from the fuzz corpus root
+#: (repro.verify.FUZZ_SEED0), so the example-based chaos tests and the
+#: schedule fuzzer draw fault schedules from one seed family — a corpus
+#: seed reproduced here and a fuzz seed reproduced there agree on what
+#: "seed k" means
+SEED0 = FUZZ_SEED0
+
+
+def _seed(k: int) -> int:
+    """The k-th derived seed of the shared chaos/fuzz seed family."""
+    return SEED0 + k
 
 
 def _x(n, seed=0, dtype=np.float16):
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng((SEED0, seed))
     return rng.integers(-2, 3, n).astype(dtype)
 
 
@@ -65,9 +78,9 @@ class TestFaultPlan:
                     seq.append(True)
             return seq
 
-        a = outcomes(FaultPlan(seed=42, transient_rate=0.3))
-        b = outcomes(FaultPlan(seed=42, transient_rate=0.3))
-        c = outcomes(FaultPlan(seed=43, transient_rate=0.3))
+        a = outcomes(FaultPlan(seed=_seed(42), transient_rate=0.3))
+        b = outcomes(FaultPlan(seed=_seed(42), transient_rate=0.3))
+        c = outcomes(FaultPlan(seed=_seed(43), transient_rate=0.3))
         assert a == b
         assert a != c
         assert any(a) and not all(a)
@@ -97,9 +110,9 @@ class TestFaultPlan:
 
     def test_describe_mentions_modes(self):
         text = FaultPlan(
-            seed=5, transient_rate=0.2, mte_slowdown=1.5, die_at_launch=3
+            seed=_seed(5), transient_rate=0.2, mte_slowdown=1.5, die_at_launch=3
         ).describe()
-        assert "seed=5" in text and "20%" in text
+        assert f"seed={_seed(5)}" in text and "20%" in text
         assert "mte" in text and "launch 3" in text
 
 
@@ -110,7 +123,7 @@ class TestServiceRetry:
             batching=False,
             retry=RetryPolicy(max_attempts=4),
         )
-        svc.ctx.device.fault_plan = FaultPlan(seed=3, transient_rate=0.4)
+        svc.ctx.device.fault_plan = FaultPlan(seed=_seed(3), transient_rate=0.4)
         xs = [_x(600, i) for i in range(8)]
         ts = [svc.submit(x, algorithm="scanu", s=32) for x in xs]
         done = svc.flush()
@@ -130,7 +143,7 @@ class TestServiceRetry:
             batching=False,
             retry=RetryPolicy(max_attempts=6),
         )
-        svc.ctx.device.fault_plan = FaultPlan(seed=3, transient_rate=0.4)
+        svc.ctx.device.fault_plan = FaultPlan(seed=_seed(3), transient_rate=0.4)
         ts = [svc.submit(_x(600, i), algorithm="scanu", s=32) for i in range(8)]
         svc.flush()
         faulted = [r for r in svc.stats.launches if r.retries]
@@ -251,9 +264,9 @@ class TestPoolChaos:
         permanent loss — every request bit-identical, no ticket lost,
         health/retries/failovers reported."""
         pool = _chaos_pool(
-            dev0=FaultPlan(seed=1, transient_rate=0.2, mte_slowdown=1.3),
-            dev1=FaultPlan(seed=2, die_at_launch=0),
-            dev2=FaultPlan(seed=3, transient_rate=0.2, vec_slowdown=1.2),
+            dev0=FaultPlan(seed=_seed(1), transient_rate=0.2, mte_slowdown=1.3),
+            dev1=FaultPlan(seed=_seed(2), die_at_launch=0),
+            dev2=FaultPlan(seed=_seed(3), transient_rate=0.2, vec_slowdown=1.2),
         )
         svc = PoolScanService(pool=pool, retry=RetryPolicy(max_attempts=4))
         inputs = self._submit_mix(svc)
@@ -330,7 +343,10 @@ class TestPoolChaos:
         del inputs
 
     def test_degraded_member_after_transient_faults(self):
-        pool = _chaos_pool(dev0=FaultPlan(seed=11, transient_rate=0.5))
+        # _seed(14) is a pinned draw from the shared family that yields
+        # several transient faults on dev0's traffic (deflaked: not every
+        # derived seed faults under this workload)
+        pool = _chaos_pool(dev0=FaultPlan(seed=_seed(14), transient_rate=0.5))
         svc = PoolScanService(pool=pool, retry=RetryPolicy(max_attempts=6))
         inputs = self._submit_mix(svc)
         done = svc.flush()

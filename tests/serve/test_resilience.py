@@ -1,0 +1,206 @@
+"""RetryPolicy backoff math and MemberHealth state transitions.
+
+The chaos suite (tests/serve/test_chaos.py) exercises these primitives
+end-to-end under injected faults; this module pins their contracts in
+isolation — the validation envelope and exponential backoff schedule of
+:class:`~repro.serve.resilience.RetryPolicy`, and the exact conditions
+under which :meth:`~repro.shard.service.PoolScanService.member_health`
+reports healthy / degraded / dead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DeviceFault
+from repro.hw import FaultPlan
+from repro.hw.config import toy_config
+from repro.serve import DEAD, DEGRADED, HEALTHY, RetryPolicy
+from repro.serve.resilience import SLOWDOWN_DEGRADED_THRESHOLD, MemberHealth
+from repro.shard import DevicePool, PoolScanService
+from repro.verify import FUZZ_SEED0
+
+
+def _seed(k: int) -> int:
+    """Same derived seed family as the chaos suite and the fuzz corpus."""
+    return FUZZ_SEED0 + k
+
+
+def _x(n, seed=0, dtype=np.float16):
+    rng = np.random.default_rng((FUZZ_SEED0, seed))
+    return rng.integers(-2, 3, n).astype(dtype)
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        p = RetryPolicy()
+        assert p.max_attempts == 3
+        assert p.backoff_ns is None
+        assert p.backoff_multiplier == 2.0
+
+    def test_max_attempts_floor(self):
+        RetryPolicy(max_attempts=1)  # 1 = no retry, still legal
+        with pytest.raises(ConfigError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError, match="max_attempts"):
+            RetryPolicy(max_attempts=-3)
+
+    def test_backoff_ns_floor(self):
+        RetryPolicy(backoff_ns=0.0)  # explicit zero backoff is legal
+        with pytest.raises(ConfigError, match="backoff_ns"):
+            RetryPolicy(backoff_ns=-1.0)
+
+    def test_multiplier_floor(self):
+        RetryPolicy(backoff_multiplier=1.0)  # constant backoff is legal
+        with pytest.raises(ConfigError, match="backoff_multiplier"):
+            RetryPolicy(backoff_multiplier=0.99)
+
+    def test_frozen(self):
+        p = RetryPolicy()
+        with pytest.raises(AttributeError):
+            p.max_attempts = 5
+
+
+class TestBackoffMath:
+    def test_exponential_schedule(self):
+        p = RetryPolicy(backoff_ns=100.0, backoff_multiplier=3.0)
+        assert [p.backoff_for(i, default_ns=1.0) for i in range(4)] == [
+            100.0,
+            300.0,
+            900.0,
+            2700.0,
+        ]
+
+    def test_none_base_uses_device_default(self):
+        p = RetryPolicy(backoff_multiplier=2.0)
+        assert p.backoff_for(0, default_ns=250.0) == 250.0
+        assert p.backoff_for(3, default_ns=250.0) == 2000.0
+
+    def test_explicit_base_overrides_device_default(self):
+        p = RetryPolicy(backoff_ns=7.0)
+        assert p.backoff_for(0, default_ns=9999.0) == 7.0
+
+    def test_zero_base_means_free_retries(self):
+        p = RetryPolicy(backoff_ns=0.0, backoff_multiplier=10.0)
+        assert all(p.backoff_for(i, 500.0) == 0.0 for i in range(5))
+
+    def test_unit_multiplier_is_constant_backoff(self):
+        p = RetryPolicy(backoff_ns=40.0, backoff_multiplier=1.0)
+        assert [p.backoff_for(i, 0.0) for i in range(4)] == [40.0] * 4
+
+    def test_total_backoff_is_geometric_sum(self):
+        p = RetryPolicy(backoff_ns=10.0, backoff_multiplier=2.0)
+        total = sum(p.backoff_for(i, 0.0) for i in range(6))
+        assert total == 10.0 * (2**6 - 1)
+
+
+def _pool(**plans) -> PoolScanService:
+    """A 2-member pool with optional per-member fault plans (dev0=..)."""
+    n = max(2, len(plans))
+    pool = DevicePool(n, config=toy_config())
+    for key, plan in plans.items():
+        pool.devices[int(key.removeprefix("dev"))].fault_plan = plan
+    return PoolScanService(pool=pool, retry=RetryPolicy(max_attempts=6))
+
+
+def _drive(svc, rounds=3, seed=0):
+    for r in range(rounds):
+        for i in range(4):
+            svc.submit(_x(600, seed + r * 4 + i), algorithm="scanu", s=32)
+        svc.flush()
+
+
+class TestMemberHealthTransitions:
+    def test_initial_state_is_healthy(self):
+        svc = _pool()
+        for h in svc.member_health():
+            assert h.state == HEALTHY
+            assert h.retries == 0
+            assert h.fault_events == 0
+            assert h.failovers == 0
+            assert h.slowdown == pytest.approx(1.0)
+
+    def test_fault_free_traffic_stays_healthy(self):
+        svc = _pool()
+        _drive(svc)
+        assert {h.state for h in svc.member_health()} == {HEALTHY}
+
+    def test_transient_faults_degrade_only_the_faulty_member(self):
+        # _seed(14): pinned family draw with several transient faults on
+        # dev0 (same deflaked pick as the chaos suite)
+        svc = _pool(dev0=FaultPlan(seed=_seed(14), transient_rate=0.5))
+        _drive(svc)
+        health = svc.member_health()
+        assert health[0].state == DEGRADED
+        assert health[0].fault_events > 0
+        assert health[0].retries == health[0].fault_events
+        assert health[1].state == HEALTHY
+
+    def test_pure_slowdown_degrades_without_any_fault_event(self):
+        svc = _pool(dev0=FaultPlan(mte_slowdown=2.0, vec_slowdown=1.5))
+        _drive(svc)
+        health = svc.member_health()
+        assert health[0].state == DEGRADED
+        assert health[0].fault_events == 0
+        assert health[0].slowdown > SLOWDOWN_DEGRADED_THRESHOLD
+
+    def test_slowdown_threshold_is_strict(self):
+        """A member at exactly the threshold is still healthy — the
+        comparison is strictly greater-than, so EWMA jitter right at the
+        boundary cannot flap the state."""
+        record = MemberHealth(
+            member=0,
+            state=HEALTHY,
+            retries=0,
+            fault_events=0,
+            failovers=0,
+            slowdown=SLOWDOWN_DEGRADED_THRESHOLD,
+        )
+        assert not record.slowdown > SLOWDOWN_DEGRADED_THRESHOLD
+        svc = _pool()
+        _drive(svc, rounds=1)
+        for h in svc.member_health():
+            assert h.slowdown <= SLOWDOWN_DEGRADED_THRESHOLD
+            assert h.state == HEALTHY
+
+    def test_permanent_loss_is_dead_and_sticky(self):
+        svc = _pool(dev0=FaultPlan(die_at_launch=0))
+        _drive(svc)
+        assert svc.member_health()[0].state == DEAD
+        assert svc.member_health()[1].state in (HEALTHY, DEGRADED)
+        # sticky: repairing the device does not resurrect the member
+        svc.pool.devices[0].fault_plan = None
+        _drive(svc, rounds=1, seed=50)
+        assert svc.member_health()[0].state == DEAD
+
+    def test_dead_member_routes_nothing_after_death(self):
+        svc = _pool(dev0=FaultPlan(die_at_launch=0))
+        _drive(svc)
+        groups_at_death = svc.groups_routed[0]
+        _drive(svc, rounds=2, seed=60)
+        assert svc.groups_routed[0] == groups_at_death
+        assert svc.member_health()[1].failovers == 0  # survivor kept its own
+
+    def test_failover_counts_against_the_losing_member(self):
+        svc = _pool(dev0=FaultPlan(die_at_launch=0))
+        try:
+            _drive(svc)
+        except DeviceFault:  # first flush may surface the terminal fault
+            svc.flush()
+        health = svc.member_health()
+        assert health[0].state == DEAD
+        assert health[0].failovers >= 0  # recorded on the dead member
+        # every request still completed exactly once on the survivor
+        assert svc.pending == 0
+
+    def test_dead_beats_degraded_in_the_report(self):
+        """A member that faulted transiently and then died reports dead,
+        not degraded — permanent loss dominates."""
+        svc = _pool(
+            dev0=FaultPlan(
+                seed=_seed(14), transient_rate=0.3, die_at_launch=2
+            )
+        )
+        _drive(svc)
+        assert svc.member_health()[0].state == DEAD

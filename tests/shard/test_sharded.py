@@ -176,3 +176,77 @@ class TestScanner:
         assert result.values.dtype == np.float32
         assert np.array_equal(result.values, inclusive_scan(x))
         assert all(not r.tuned for r in result.shards)
+
+
+class TestAdversarialBoundaries:
+    """Wide pools (D > 4) and shard sizes engineered to sit exactly on,
+    just above, or just below the s^2 tile boundary (s=16 -> 256), where
+    the padded-tail and carry-chain paths are most fragile."""
+
+    @pytest.mark.parametrize("num_devices", [6, 8])
+    @pytest.mark.parametrize("n", [6 * 256 - 1, 6 * 256, 6 * 256 + 1,
+                                   8 * 256 + 1, 40_000])
+    def test_fp16_exact_wide_pool(self, rng, num_devices, n):
+        pool = DevicePool(num_devices, toy_config())
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x, expected = exact_fp16_scan_input(n, rng)
+        result = scanner.scan(x)
+        assert np.array_equal(result.values, expected)
+        assert sum(r.n for r in result.shards) == n
+
+    @pytest.mark.parametrize("num_devices", [6, 8])
+    @pytest.mark.parametrize("k", [3, 7])
+    @pytest.mark.parametrize("delta", [-1, 0, 1])
+    def test_int8_exact_at_tile_multiples(self, rng, num_devices, k, delta):
+        """size = k*s^2 +/- 1 per intended shard: every interior boundary
+        stays unit-aligned while the tail shard absorbs the remainder."""
+        n = num_devices * k * 256 + delta
+        pool = DevicePool(num_devices, toy_config())
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x = rng.integers(-30, 31, size=n).astype(np.int8)
+        result = scanner.scan(x)
+        assert np.array_equal(result.values, inclusive_scan(x))
+        for start, end in [(r.start, r.end) for r in result.shards][:-1]:
+            assert end % 256 == 0
+
+    def test_single_element_tail_shard(self, rng):
+        """shard_ranges(513, 3, 256) -> [0,256), [256,512), [512,513):
+        the last device scans exactly one element and its carry still
+        lands correctly."""
+        assert shard_ranges(513, 3, 256) == [(0, 256), (256, 512), (512, 513)]
+        pool = DevicePool(3, toy_config())
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x, _ = exact_fp16_scan_input(513, rng)
+        result = scanner.scan(x)
+        assert result.shards[-1].n == 1
+        assert np.array_equal(result.values, inclusive_scan(x))
+
+    def test_more_devices_than_units_drops_idle_members(self, rng):
+        """An 8-device pool on a 3-unit input uses only 3 shards; the
+        idle members contribute neither time nor output."""
+        pool = DevicePool(8, toy_config())
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x, _ = exact_fp16_scan_input(3 * 256 + 5, rng)
+        result = scanner.scan(x)
+        assert result.num_devices <= 4
+        assert np.array_equal(result.values, inclusive_scan(x))
+
+    @pytest.mark.parametrize("algorithm", ["scanu", "scanul1", "ssa"])
+    def test_other_algorithms_agree_at_d6(self, rng, algorithm):
+        x, _ = exact_fp16_scan_input(6 * 700 + 1, rng)
+        pool = DevicePool(6, toy_config())
+        scanner = ShardedScanner(pool, algorithm=algorithm, s=16)
+        assert np.array_equal(scanner.scan(x).values, inclusive_scan(x))
+
+    def test_wide_pool_carry_chain_timing(self, rng):
+        """At D=6 the two-stage makespan law still holds: wall clock is
+        max scan time plus max carry time, and only device 0 skips the
+        carry pass."""
+        pool = DevicePool(6, toy_config())
+        scanner = ShardedScanner(pool, algorithm="mcscan", s=16)
+        x, _ = exact_fp16_scan_input(60_000, rng)
+        result = scanner.scan(x)
+        assert result.num_devices == 6
+        assert result.shards[0].carry_ns == 0.0
+        assert all(r.carry_ns > 0 for r in result.shards[1:])
+        assert result.wall_ns == result.scan_stage_ns + result.carry_stage_ns

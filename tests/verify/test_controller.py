@@ -1,0 +1,207 @@
+"""ScheduleController: record, replay, clamp, shrinkability conventions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import Decision, ScheduleController
+from repro.verify.controller import trace_from_json, trace_to_json
+
+
+class TestChoose:
+    def test_seed_determinism(self):
+        a = ScheduleController(7)
+        b = ScheduleController(7)
+        picks_a = [a.choose("p", 5) for _ in range(20)]
+        picks_b = [b.choose("p", 5) for _ in range(20)]
+        assert picks_a == picks_b
+        assert a.trace == b.trace
+
+    def test_different_seeds_diverge(self):
+        a = ScheduleController(1)
+        b = ScheduleController(2)
+        assert [a.choose("p", 100) for _ in range(10)] != [
+            b.choose("p", 100) for _ in range(10)
+        ]
+
+    def test_in_range_and_recorded(self):
+        ctl = ScheduleController(3)
+        for _ in range(50):
+            pick = ctl.choose("point", 4)
+            assert 0 <= pick < 4
+        assert ctl.decisions == 50
+        assert all(d.point == "point" and d.n == 4 for d in ctl.trace)
+
+    def test_trivial_choice_unrecorded(self):
+        ctl = ScheduleController(0)
+        assert ctl.choose("p", 1) == 0
+        assert ctl.choose("p", 0) == 0
+        assert ctl.trace == []
+
+
+class TestReplay:
+    def test_replays_recorded_picks_verbatim(self):
+        live = ScheduleController(11)
+        picks = [live.choose("p", 6) for _ in range(12)]
+        replay = ScheduleController(999, trace=live.trace)  # seed ignored
+        assert [replay.choose("p", 6) for _ in range(12)] == picks
+        assert replay.trace == live.trace
+
+    def test_clamps_to_live_alternative_count(self):
+        """A divergent re-run with fewer alternatives must not crash:
+        the replayed pick is clamped to n-1."""
+        replay = ScheduleController(0, trace=[Decision("p", 8, 7)])
+        assert replay.choose("p", 3) == 2
+
+    def test_falls_back_to_canonical_past_trace_end(self):
+        replay = ScheduleController(123, trace=[Decision("p", 4, 2)])
+        assert replay.choose("p", 4) == 2
+        assert [replay.choose("p", 4) for _ in range(5)] == [0] * 5
+
+    def test_empty_trace_is_fully_canonical(self):
+        replay = ScheduleController(42, trace=[])
+        assert [replay.choose("p", 9) for _ in range(8)] == [0] * 8
+        assert replay.chance("f", 0.99) is False
+
+    def test_replayed_run_records_its_own_trace(self):
+        """Replaying yields a closed trace: re-replaying the replay's
+        trace reproduces it again (fixed point)."""
+        live = ScheduleController(5)
+        for _ in range(6):
+            live.choose("x", 4)
+            live.chance("y", 0.5)
+        first = ScheduleController(0, trace=live.trace)
+        for _ in range(6):
+            first.choose("x", 4)
+            first.chance("y", 0.5)
+        second = ScheduleController(0, trace=first.trace)
+        for _ in range(6):
+            second.choose("x", 4)
+            second.chance("y", 0.5)
+        assert first.trace == live.trace == second.trace
+
+
+class TestChance:
+    def test_zero_probability_never_fires_never_records(self):
+        ctl = ScheduleController(1)
+        assert not any(ctl.chance("f", 0.0) for _ in range(50))
+        assert ctl.trace == []
+
+    def test_recorded_as_binary_decision(self):
+        ctl = ScheduleController(1)
+        fired = [ctl.chance("f", 0.5) for _ in range(40)]
+        assert any(fired) and not all(fired)
+        assert all(d.n == 2 and d.pick in (0, 1) for d in ctl.trace)
+        assert [bool(d.pick) for d in ctl.trace] == fired
+
+    def test_replay_controls_timing_independent_of_probability(self):
+        """A replayed trace decides fault timing exactly even if the
+        probability changed between record and replay."""
+        trace = [Decision("f", 2, 1), Decision("f", 2, 0), Decision("f", 2, 1)]
+        replay = ScheduleController(0, trace=trace)
+        assert [replay.chance("f", 0.0001) for _ in range(3)] == [
+            True,
+            False,
+            True,
+        ]
+
+
+class TestPermute:
+    def test_identity_under_all_zero_trace(self):
+        items = list("abcdef")
+        replay = ScheduleController(0, trace=[])
+        assert replay.permute("q", items) == items
+
+    def test_permutation_is_seeded_and_recorded(self):
+        items = list(range(8))
+        a = ScheduleController(9)
+        b = ScheduleController(9)
+        out_a = a.permute("q", items)
+        out_b = b.permute("q", items)
+        assert out_a == out_b
+        assert sorted(out_a) == items  # a permutation, nothing lost
+        assert a.decisions == len(items) - 1  # one swap decision per slot
+
+    def test_replay_reproduces_the_permutation(self):
+        items = list("abcdefgh")
+        live = ScheduleController(13)
+        shuffled = live.permute("q", items)
+        replay = ScheduleController(0, trace=live.trace)
+        assert replay.permute("q", items) == shuffled
+
+    def test_short_inputs_record_nothing(self):
+        ctl = ScheduleController(2)
+        assert ctl.permute("q", []) == []
+        assert ctl.permute("q", ["only"]) == ["only"]
+        assert ctl.trace == []
+
+
+class TestTraceSerialisation:
+    def test_json_round_trip(self):
+        ctl = ScheduleController(21)
+        for _ in range(5):
+            ctl.choose("a", 7)
+            ctl.chance("b", 0.4)
+        ctl.permute("c", list(range(4)))
+        data = trace_to_json(ctl.trace)
+        assert all(
+            isinstance(p, str) and isinstance(n, int) and isinstance(k, int)
+            for p, n, k in data
+        )
+        assert trace_from_json(data) == ctl.trace
+
+    def test_decision_describe(self):
+        assert Decision("pool.group", 4, 2).describe() == "pool.group: 2/4"
+
+
+class TestIntrospection:
+    def test_nonzero_decisions_counts_divergences(self):
+        ctl = ScheduleController(
+            0,
+            trace=[
+                Decision("a", 4, 0),
+                Decision("a", 4, 3),
+                Decision("a", 4, 1),
+            ],
+        )
+        for _ in range(3):
+            ctl.choose("a", 4)
+        assert ctl.decisions == 3
+        assert ctl.nonzero_decisions == 2
+
+    def test_describe_trace_canonical(self):
+        ctl = ScheduleController(0, trace=[])
+        for _ in range(4):
+            ctl.choose("a", 4)
+        assert ctl.describe_trace() == "(canonical schedule)"
+
+    def test_describe_trace_lists_hot_decisions_and_elides(self):
+        trace = [Decision("p", 5, 4) for _ in range(25)]
+        ctl = ScheduleController(0, trace=trace)
+        for _ in range(25):
+            ctl.choose("p", 5)
+        text = ctl.describe_trace(limit=3)
+        assert text.count("p: 4/5") == 3
+        assert "22 more" in text
+
+
+@pytest.mark.parametrize("seed", [0, 1, 17, 0xA5CE])
+def test_any_seed_trace_replays_to_itself(seed):
+    """Closure property the shrinker relies on: every recorded trace,
+    replayed over the same decision sequence, reproduces itself."""
+    live = ScheduleController(seed)
+    script = [("c", 5), ("f", 0.3), ("c", 2), ("f", 0.8), ("c", 9)]
+    for _ in range(4):
+        for kind, arg in script:
+            if kind == "c":
+                live.choose("x", arg)
+            else:
+                live.chance("y", arg)
+    replay = ScheduleController(0, trace=live.trace)
+    for _ in range(4):
+        for kind, arg in script:
+            if kind == "c":
+                replay.choose("x", arg)
+            else:
+                replay.chance("y", arg)
+    assert replay.trace == live.trace
