@@ -548,11 +548,12 @@ def cmd_chaos(args) -> int:
     return 0 if exact == len(inputs) else 1
 
 
-def _fuzz_smoke() -> int:
+def _fuzz_smoke(parallel: "int | None" = None) -> int:
     """CI self-check for the schedule fuzzer: a short seed sweep over the
     full workload matrix holds every invariant, the pinned seed corpus
-    replays clean, and a recorded decision trace replays
-    deterministically."""
+    replays clean, a recorded decision trace replays deterministically,
+    and host-executor parallelism is invisible (same seed, serial vs
+    parallel, produces the identical decision trace)."""
     from .verify import WORKLOAD_MATRIX, replay_corpus, run_fuzz, run_seed
 
     failures = []
@@ -562,10 +563,11 @@ def _fuzz_smoke() -> int:
         if not cond:
             failures.append(msg)
 
-    report = run_fuzz(seeds=50)
+    mode = f" (parallel={parallel})" if parallel else ""
+    report = run_fuzz(seeds=50, parallel=parallel)
     check(
         report.ok and report.seeds_run == 50,
-        f"50 fuzz seeds over {len(report.per_spec)} workloads: "
+        f"50 fuzz seeds over {len(report.per_spec)} workloads{mode}: "
         f"{report.served} requests served, {report.decisions} schedule "
         f"decisions, {report.flush_faults} flush-level faults absorbed",
     )
@@ -589,6 +591,19 @@ def _fuzz_smoke() -> int:
         f"deterministically",
     )
 
+    faulty = next(s for s in WORKLOAD_MATRIX if s.transient)
+    serial = run_seed(faulty, 5, parallel=0)
+    threaded = run_seed(faulty, 5, parallel=parallel or 3)
+    check(
+        serial.ok
+        and threaded.ok
+        and serial.trace == threaded.trace
+        and serial.served == threaded.served,
+        f"parallel numerics invisible on {faulty.name}: serial and "
+        f"{parallel or 3}-worker runs share one decision trace "
+        f"({len(serial.trace)} decisions, {serial.served} served)",
+    )
+
     if failures:
         print(f"\nfuzz smoke: {len(failures)} check(s) failed")
         return 1
@@ -609,7 +624,7 @@ def cmd_fuzz(args) -> int:
     )
 
     if args.smoke:
-        return _fuzz_smoke()
+        return _fuzz_smoke(args.parallel)
 
     specs = list(WORKLOAD_MATRIX)
     if args.spec:
@@ -621,7 +636,7 @@ def cmd_fuzz(args) -> int:
 
     if args.replay is not None:
         spec = specs[0] if args.spec else WORKLOAD_MATRIX[0]
-        result = run_seed(spec, args.replay)
+        result = run_seed(spec, args.replay, parallel=args.parallel)
         print(f"seed {args.replay} on {spec.describe()}")
         print(f"  {len(result.trace)} decisions, {result.served} requests "
               f"served, {result.flush_faults} flush-level faults")
@@ -653,6 +668,7 @@ def cmd_fuzz(args) -> int:
         seeds=args.seeds,
         shrink=not args.no_shrink,
         progress=progress,
+        parallel=args.parallel,
     )
     print(report.describe())
     if args.save_failures and report.failures:
@@ -844,7 +860,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write failing seeds + traces as JSON repro bundles")
     pf.add_argument("--smoke", action="store_true",
                     help="CI self-check: 50-seed sweep, corpus replay, "
-                    "deterministic trace replay")
+                    "deterministic trace replay, parallel invisibility")
+    pf.add_argument("--parallel", type=int, default=None, metavar="N",
+                    help="host-executor workers for pool numerics on every "
+                    "seed (default: each workload's own setting; results "
+                    "must be identical at any N)")
     pf.set_defaults(fn=cmd_fuzz)
 
     po = sub.add_parser("sort", help="radix sort vs torch.sort")

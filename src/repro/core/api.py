@@ -312,6 +312,33 @@ class ScanPlan:
         io = n * self._io_bytes_per_element()
         return ScanResult(values[:rows, :row_len], trace, n, io)
 
+    def replay_timing(
+        self,
+        *,
+        engine: str = "cached",
+        audit_timing: "bool | None" = None,
+    ):
+        """Replay this plan's simulated timeline *without* the numerics.
+
+        The serve layer's vectorized path separates a launch into its two
+        independent halves: the schedule-facing replay (fault injection,
+        memoized timeline, per-device launch accounting — this method) and
+        the pure functional numerics, which can then run stacked across a
+        whole launch group (:mod:`repro.serve.numerics`) or on a host
+        executor thread.  Counts as one execution, exactly like
+        :meth:`execute`, and returns the :class:`~repro.hw.trace.Trace`.
+        """
+        if self.released:
+            raise KernelError(
+                f"plan for {self.algorithm} (padded={self.padded}) has been "
+                f"released; its device tensors are gone — build a new plan"
+            )
+        trace = self.ctx.device.replay(
+            self.traced, engine=engine, audit_timing=audit_timing
+        )
+        self.executions += 1
+        return trace
+
     def _io_bytes_per_element(self) -> int:
         return self.in_dtype.itemsize + self.out_dtype.itemsize
 

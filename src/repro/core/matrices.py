@@ -17,8 +17,9 @@ role for a simulated device.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from functools import lru_cache
+from typing import NamedTuple
 
 import numpy as np
 
@@ -106,25 +107,81 @@ class ScanConstants:
         return self.rows * self.s
 
 
-@lru_cache(maxsize=None)
-def host_constant_matrices(
-    s: int, rows: int, dtype_name: str
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Host-side ``(U_s, L_rows^-, 1_s)`` as flat read-only arrays.
+class CacheInfo(NamedTuple):
+    """``functools.lru_cache``-compatible counters for the constant store."""
 
-    Memoized at module level: every device in a :class:`repro.shard.DevicePool`
-    uploads its own GM copies, but the NumPy materialisation happens once per
-    ``(s, rows, dtype)`` for the whole process.  The arrays are frozen so a
-    caller cannot mutate the shared cache entries; :meth:`GlobalTensor.write`
-    copies on upload.
+    hits: int
+    misses: int
+    maxsize: "int | None"
+    currsize: int
+
+
+class _HostConstantStore:
+    """Explicit shared read-only store of host constant matrices.
+
+    This used to be a bare ``functools.lru_cache``, which has two problems
+    once warm-up runs concurrently: its hit/miss counters race under
+    threads, and — more importantly — nothing re-checks that the cached
+    arrays are *still* frozen when handed out, so one caller flipping
+    ``writeable`` back on would silently corrupt the constants every other
+    device uploads from then on.  The explicit store takes a lock around
+    materialisation (one NumPy build per ``(s, rows, dtype)`` even when
+    several warm-up threads race to it) and re-asserts read-onlyness on
+    **every** access, so a corrupted entry fails loudly at the next use
+    instead of poisoning later kernels.
+
+    Process-pool warm-up workers (fork) inherit a populated store; that is
+    safe precisely because entries are immutable — workers can only read.
     """
-    np_dt = as_dtype(dtype_name).np_dtype
-    u = upper_ones(s, np_dt).reshape(-1)
-    sl = strict_lower_ones(rows, np_dt).reshape(-1)
-    ones = all_ones(s, np_dt).reshape(-1)
-    for arr in (u, sl, ones):
-        arr.setflags(write=False)
-    return u, sl, ones
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cache: "dict[tuple[int, int, str], tuple[np.ndarray, ...]]" = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __call__(
+        self, s: int, rows: int, dtype_name: str
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        key = (s, rows, dtype_name)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                self._misses += 1
+                np_dt = as_dtype(dtype_name).np_dtype
+                u = upper_ones(s, np_dt).reshape(-1)
+                sl = strict_lower_ones(rows, np_dt).reshape(-1)
+                ones = all_ones(s, np_dt).reshape(-1)
+                for arr in (u, sl, ones):
+                    arr.setflags(write=False)
+                entry = self._cache[key] = (u, sl, ones)
+            else:
+                self._hits += 1
+        for arr in entry:
+            if arr.flags.writeable:
+                raise KernelError(
+                    f"shared constant matrices for (s={s}, rows={rows}, "
+                    f"{dtype_name}) became writable — the store's entries "
+                    "must stay frozen"
+                )
+        return entry
+
+    def cache_info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(self._hits, self._misses, None, len(self._cache))
+
+    def cache_clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+#: host-side ``(U_s, L_rows^-, 1_s)`` as flat read-only arrays, one NumPy
+#: materialisation per ``(s, rows, dtype)`` for the whole process — every
+#: device in a :class:`repro.shard.DevicePool` uploads its own GM copies
+#: from these shared frozen arrays (:meth:`GlobalTensor.write` copies)
+host_constant_matrices = _HostConstantStore()
 
 
 def upload_constants(

@@ -17,10 +17,12 @@ operator integration would use in steady state:
 """
 
 from .batcher import LaunchGroup, RequestBatcher, ScanRequest, bucket_size
+from .executor import HostExecutor, HostJob
+from .numerics import assemble_rows, group_scan_values
 from .plan import PlanCache, PlanKey
 from .resilience import DEAD, DEGRADED, HEALTHY, MemberHealth, RetryPolicy
 from .service import ScanService, ScanTicket
-from .stats import LaunchRecord, ServiceStats
+from .stats import HOST_PHASES, LaunchRecord, ServiceStats
 
 __all__ = [
     "PlanCache",
@@ -33,6 +35,11 @@ __all__ = [
     "ScanTicket",
     "ServiceStats",
     "LaunchRecord",
+    "HOST_PHASES",
+    "HostExecutor",
+    "HostJob",
+    "assemble_rows",
+    "group_scan_values",
     "RetryPolicy",
     "MemberHealth",
     "HEALTHY",

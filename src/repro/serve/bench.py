@@ -284,6 +284,15 @@ def format_report(report: dict) -> str:
             f"{r['direct_gelems']:8.1f} GE/s {r['service_gelems']:8.1f} GE/s "
             f"{r['throughput_ratio']:6.3f}"
         )
+    phase_lines = [
+        (r["algorithm"], line.split(":", 1)[1].strip())
+        for r in report["batched"]
+        for line in r["service_summary"].splitlines()
+        if line.startswith("host phases")
+    ]
+    if phase_lines:
+        lines += ["", "per-phase host time (trace/tune/numerics/timeline):"]
+        lines += [f"{algo:>10} {detail}" for algo, detail in phase_lines]
     if report.get("replay_engines"):
         lines += [
             "",

@@ -1,0 +1,96 @@
+"""Host-side execution seam: inline by default, thread pool on request.
+
+:class:`HostExecutor` is the single knob behind the serve layer's
+``parallel=`` parameters.  Jobs submitted to it are **pure functions**
+(the vectorized group numerics of :mod:`repro.serve.numerics`): their
+results depend only on their arguments, never on execution order, which
+is what keeps thread-pool execution invisible to the schedule fuzzer —
+same seed, same oracle bits, same tickets, same simulated timeline.
+
+Everything schedule-bearing (batcher drains, routing picks, fault draws,
+timeline replays, busy-time accounting) stays on the calling thread; only
+the NumPy passes — which release the GIL on large arrays — are deferred.
+
+``workers`` of ``None``, 0 or 1 mean *inline*: ``submit`` runs the
+function immediately on the calling thread and wraps the outcome, so the
+serial path has no queueing, no threads and no behavioural difference
+beyond object plumbing.  ``workers >= 2`` uses a
+:class:`~concurrent.futures.ThreadPoolExecutor`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["HostExecutor", "HostJob"]
+
+
+class HostJob:
+    """Handle for one deferred computation; ``result()`` joins it."""
+
+    __slots__ = ("_future", "_value", "_error")
+
+    def __init__(self, *, future=None, value=None, error=None):
+        self._future = future
+        self._value = value
+        self._error = error
+
+    def result(self):
+        if self._future is not None:
+            return self._future.result()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class HostExecutor:
+    """Inline or thread-pooled runner for pure host-side jobs."""
+
+    def __init__(self, workers: "int | None" = None):
+        self.workers = 0 if workers is None else max(0, int(workers))
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-host"
+            )
+            if self.workers >= 2
+            else None
+        )
+
+    @property
+    def parallel(self) -> bool:
+        """True when jobs actually run on pool threads."""
+        return self._pool is not None
+
+    def submit(self, fn, /, *args, **kwargs) -> HostJob:
+        """Run ``fn(*args, **kwargs)`` — now (inline) or on a pool thread.
+
+        Inline submission executes immediately and captures the outcome,
+        so ``result()`` re-raises at the same join point the parallel
+        mode would; callers handle both modes identically.
+        """
+        if self._pool is not None:
+            return HostJob(future=self._pool.submit(fn, *args, **kwargs))
+        try:
+            return HostJob(value=fn(*args, **kwargs))
+        except Exception as exc:  # noqa: BLE001 - mirrored to result()
+            return HostJob(error=exc)
+
+    def chunk_count(self, items: int, *, min_chunk: int = 8) -> int:
+        """How many pieces to split an ``items``-row group into: one per
+        worker, but never chunks smaller than ``min_chunk`` rows (tiny
+        slices pay more in per-call overhead than threads return)."""
+        if self._pool is None or items < 2 * min_chunk:
+            return 1
+        return max(1, min(self.workers, items // min_chunk))
+
+    def shutdown(self) -> None:
+        """Join and release pool threads (idempotent; inline is a no-op)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "HostExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -3,9 +3,19 @@
 :meth:`ScanService.submit` validates and enqueues a 1-D scan request,
 returning a :class:`ScanTicket` immediately; :meth:`ScanService.flush`
 drains the queue through the :class:`~repro.serve.batcher.RequestBatcher`,
-executes each launch group via plan-cache hits (building plans on first
-miss), scatters results back onto the tickets, and records per-request
-host latency plus per-launch simulated throughput.
+replays each launch group's simulated timeline via plan-cache hits
+(building plans on first miss), computes the group's numerics in **one
+stacked NumPy pass** (:mod:`repro.serve.numerics` — bit-identical to the
+per-request path), scatters results back onto the tickets, and records
+per-request host latency plus per-launch simulated throughput.
+
+Each launch is split into its two independent halves: the schedule-facing
+timeline replay (fault injection, retries, busy-time accounting — always
+on the calling thread, in deterministic order) and the pure functional
+numerics, which are deferred as jobs on a
+:class:`~repro.serve.executor.HostExecutor` and joined before ``flush``
+returns.  With ``parallel=`` workers the numerics run on pool threads —
+results and schedules stay bit-identical because the jobs are pure.
 
 This mirrors how an inference-serving integration drives the paper's
 operators: shapes recur, so tracing cost is paid once per shape class and
@@ -23,6 +33,8 @@ from ..core.api import ScanContext, ScanPlan
 from ..errors import DeviceFault, KernelError, ShapeError
 from ..hw.config import ASCEND_910B4, DeviceConfig
 from .batcher import LaunchGroup, RequestBatcher, ScanRequest
+from .executor import HostExecutor, HostJob
+from .numerics import group_scan_values
 from .plan import PlanCache
 from .resilience import RetryPolicy
 from .stats import LaunchRecord, ServiceStats
@@ -91,8 +103,26 @@ class ScanService:
         tune_store=None,
         retry: "RetryPolicy | None" = None,
         controller=None,
+        parallel: "int | None" = None,
+        executor: "HostExecutor | None" = None,
     ):
         self.ctx = ctx if ctx is not None else ScanContext(config)
+        #: host executor the group numerics jobs run on — shared when the
+        #: pool front end hands one in, owned (and built from ``parallel``)
+        #: otherwise.  Parallelism here is invisible to results and
+        #: schedules: only pure NumPy passes are deferred.
+        if executor is not None:
+            self.executor = executor
+            self._owns_executor = False
+        else:
+            self.executor = HostExecutor(parallel)
+            self._owns_executor = True
+        #: pending (numerics job, rows-to-finish) pairs; joined by
+        #: :meth:`resolve_deferred` at the end of every flush (or by the
+        #: pool front end, after every member flushed, when it set
+        #: ``_defer_external`` for cross-member overlap)
+        self._deferred: "list[tuple[HostJob, list]]" = []
+        self._defer_external = False
         #: bounded-retry discipline for transient DeviceFaults
         self.retry = retry if retry is not None else RetryPolicy()
         #: EWMA of served launch time (incl. stretch + backoff) over the
@@ -143,9 +173,11 @@ class ScanService:
         tuned = False
         block_dim: "int | None" = None
         if algorithm is None and s is None and self.tune_store is not None:
+            t_tune = time.perf_counter()
             entry = self.tune_store.lookup_1d(
                 n=x.size, dtype=dt.name, exclusive=exclusive
             )
+            self.stats.add_phase("tune", time.perf_counter() - t_tune)
             if entry is not None:
                 algorithm = entry.algorithm
                 s = entry.s
@@ -258,68 +290,108 @@ class ScanService:
         """
         groups = self.batcher.drain()
         completed: list[ScanTicket] = []
-        for gi, group in enumerate(groups):
-            try:
-                if group.batched:
-                    completed.extend(self._serve_batched(group))
-                else:
-                    completed.extend(self._serve_singles(group))
-            except Exception:
-                for later in groups[gi + 1 :]:
-                    self._requeue(later.requests)
-                raise
+        try:
+            for gi, group in enumerate(groups):
+                try:
+                    if group.batched:
+                        completed.extend(self._serve_batched(group))
+                    else:
+                        completed.extend(self._serve_singles(group))
+                except Exception:
+                    for later in groups[gi + 1 :]:
+                        self._requeue(later.requests)
+                    raise
+        except Exception:
+            # tickets whose launch already succeeded must still get their
+            # values before the fault propagates — failover (the pool's
+            # recall) keys off ``ticket.done``
+            self.resolve_deferred()
+            raise
+        if not self._defer_external:
+            self.resolve_deferred()
         completed.sort(key=lambda t: t.req_id)
         return completed
+
+    def resolve_deferred(self) -> None:
+        """Join every pending numerics job and finish its tickets.
+
+        Called at the end of every flush (and on the fault path before the
+        exception propagates).  Under an external owner — the pool front
+        end defers resolution across members so their numerics overlap —
+        this runs once after all members flushed.  Idempotent."""
+        deferred, self._deferred = self._deferred, []
+        for job, rows in deferred:
+            values, numerics_s = job.result()
+            self.stats.add_phase("numerics", numerics_s)
+            for local_i, ticket, req in rows:
+                ticket.values = values[local_i]
+                self._finish(ticket, req)
+
+    def shutdown(self) -> None:
+        """Join pending numerics and release owned executor threads."""
+        self.resolve_deferred()
+        if self._owns_executor:
+            self.executor.shutdown()
 
     def _requeue(self, requests: "list[ScanRequest]") -> None:
         """Put unserved requests back on the queue (tickets stay tracked)."""
         for req in requests:
             self.batcher.add(req)
 
-    def _execute_plan(self, plan: ScanPlan, x: np.ndarray):
-        """Launch ``plan`` under the retry policy.
+    def _replay_plan(self, plan: ScanPlan):
+        """Replay ``plan``'s simulated timeline under the retry policy.
 
-        Returns ``(result, retries, faults, backoff_ns)`` on success.
+        Returns ``(trace, retries, faults, backoff_ns)`` on success.
         Transient faults are retried up to ``retry.max_attempts`` total
         attempts, each retry charging exponential backoff to simulated
         device time.  A permanent fault, or exhausting the attempts,
         re-raises the final :class:`~repro.errors.DeviceFault` with its
         ``attempts`` stamped.  Every fault (served or not) is counted in
         ``stats.fault_events``.
+
+        This is the schedule-bearing half of a launch (fault draws,
+        slowdown EWMA, simulated time) and always runs on the calling
+        thread; the numerics half is deferred separately.
         """
-        policy = self.retry
-        default_backoff = self.ctx.config.costs.relaunch_backoff_ns
-        backoff_ns = 0.0
-        faults = 0
-        attempt = 0
-        while True:
-            attempt += 1
-            try:
-                result = plan.execute(x)
-            except DeviceFault as fault:
-                self.stats.record_fault()
-                faults += 1
-                if fault.permanent or attempt >= policy.max_attempts:
-                    fault.attempts = attempt
-                    raise
-                backoff_ns += policy.backoff_for(attempt - 1, default_backoff)
-                continue
-            trace = result.trace
-            nominal = trace.total_ns - trace.stretch_ns
-            if nominal > 0:
-                observed = (trace.total_ns + backoff_ns) / nominal
-                self.observed_slowdown += _SLOWDOWN_ALPHA * (
-                    observed - self.observed_slowdown
-                )
-            return result, attempt - 1, faults, backoff_ns
+        t0 = time.perf_counter()
+        try:
+            policy = self.retry
+            default_backoff = self.ctx.config.costs.relaunch_backoff_ns
+            backoff_ns = 0.0
+            faults = 0
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    trace = plan.replay_timing()
+                except DeviceFault as fault:
+                    self.stats.record_fault()
+                    faults += 1
+                    if fault.permanent or attempt >= policy.max_attempts:
+                        fault.attempts = attempt
+                        raise
+                    backoff_ns += policy.backoff_for(attempt - 1, default_backoff)
+                    continue
+                nominal = trace.total_ns - trace.stretch_ns
+                if nominal > 0:
+                    observed = (trace.total_ns + backoff_ns) / nominal
+                    self.observed_slowdown += _SLOWDOWN_ALPHA * (
+                        observed - self.observed_slowdown
+                    )
+                return trace, attempt - 1, faults, backoff_ns
+        finally:
+            self.stats.add_phase("timeline", time.perf_counter() - t0)
 
     def _get_plan(self, group: LaunchGroup) -> "tuple[ScanPlan, bool]":
         key = group.key
+        t0 = time.perf_counter()
         hit = key in self.cache
         plan = self.cache.get_batched(
             key.algorithm, key.batch, key.padded, key.dtype, s=key.s,
             tuned=any(r.tuned for r in group.requests),
         )
+        if not hit:
+            self.stats.add_phase("trace", time.perf_counter() - t0)
         return plan, hit
 
     def _finish(self, ticket: ScanTicket, req: ScanRequest) -> None:
@@ -327,16 +399,61 @@ class ScanService:
         ticket.host_s = time.perf_counter() - req.t_submit
         self.stats.record_request(ticket.host_s)
 
+    def _submit_numerics(
+        self,
+        xs: "list[np.ndarray]",
+        *,
+        algorithm: str,
+        in_dtype,
+        exclusive: bool,
+    ) -> "list[tuple[int, tuple[HostJob, list]]]":
+        """Start the group's stacked numerics, split into row chunks when
+        the executor is parallel.  Returns ``(chunk_lo, deferred_entry)``
+        pairs; :meth:`_defer_row` routes each served row to its chunk.
+
+        Chunking is by row index, so the split — and therefore every
+        result bit — is independent of worker count and thread timing.
+        """
+        chunks = self.executor.chunk_count(len(xs))
+        size = -(-len(xs) // chunks)
+        entries = []
+        for lo in range(0, len(xs), size):
+            job = self.executor.submit(
+                group_scan_values,
+                xs[lo : lo + size],
+                algorithm=algorithm,
+                in_dtype=in_dtype,
+                exclusive=exclusive,
+            )
+            entry = (job, [])
+            self._deferred.append(entry)
+            entries.append((lo, entry))
+        return entries
+
+    def _defer_row(
+        self, entries, i: int, ticket: ScanTicket, req: ScanRequest
+    ) -> None:
+        """Mark group row ``i`` for resolution once its chunk's job joins."""
+        for lo, entry in reversed(entries):
+            if lo <= i:
+                entry[1].append((i - lo, ticket, req))
+                return
+        raise KernelError(f"row {i} matches no numerics chunk")
+
     def _serve_batched(self, group: LaunchGroup) -> "list[ScanTicket]":
         plan, hit = self._get_plan(group)
-        xp = np.zeros(
-            (plan.batch, plan.padded), dtype=plan.in_dtype.np_dtype
+        # numerics are pure, so they start before the replay and overlap it
+        # under a parallel executor; a terminal fault below simply leaves
+        # the job's rows unclaimed (the requests go back on the queue)
+        entries = self._submit_numerics(
+            [req.x for req in group.requests],
+            algorithm=plan.algorithm,
+            in_dtype=plan.in_dtype,
+            exclusive=False,
         )
-        for i, req in enumerate(group.requests):
-            xp[i, : req.n] = req.x
         hits_before = plan.timeline_hits
         try:
-            result, retries, faults, backoff_ns = self._execute_plan(plan, xp)
+            trace, retries, faults, backoff_ns = self._replay_plan(plan)
         except Exception:
             # tickets stay tracked; the whole group goes back on the queue
             self._requeue(group.requests)
@@ -344,7 +461,7 @@ class ScanService:
         group_tuned = any(r.tuned for r in group.requests)
         per_launch_n = sum(req.n for req in group.requests)
         io = per_launch_n * plan._io_bytes_per_element()
-        served_ns = result.trace.total_ns + backoff_ns
+        served_ns = trace.total_ns + backoff_ns
         self.stats.record_launch(
             LaunchRecord(
                 kind="batched",
@@ -365,46 +482,53 @@ class ScanService:
             # pop only after the launch succeeded: a fault above leaves
             # every ticket of the group pending, not silently dropped
             ticket = self._tickets.pop(req.req_id)
-            ticket.values = result.values[i, : req.n]
             ticket.device_ns = served_ns
             ticket.plan_hit = hit
             ticket.batched = True
             ticket.batch_size = len(group.requests)
             ticket.retries += retries
             ticket.faults += faults
-            self._finish(ticket, req)
+            self._defer_row(entries, i, ticket, req)
             tickets.append(ticket)
         return tickets
 
     def _serve_singles(self, group: LaunchGroup) -> "list[ScanTicket]":
+        # every request in a fallback group shares one exact 1-D plan key
+        # (the batcher re-partitions per request), so the whole group's
+        # numerics ride one stacked pass; each request still gets its own
+        # launch — its own replay, fault draws and simulated time
+        key = group.key
+        entries = self._submit_numerics(
+            [req.x for req in group.requests],
+            algorithm=key.algorithm,
+            in_dtype=self.ctx._as_plan_dtype(key.dtype),
+            exclusive=key.exclusive,
+        )
         tickets = []
         for idx, req in enumerate(group.requests):
-            key = self.cache.key_1d(
-                req.algorithm, req.n, req.plan_dtype, s=req.s,
-                exclusive=req.exclusive, block_dim=req.block_dim,
-            )
+            t0 = time.perf_counter()
             hit = key in self.cache
             plan = self.cache.get_1d(
                 req.algorithm, req.n, req.plan_dtype, s=req.s,
                 exclusive=req.exclusive, block_dim=req.block_dim,
                 tuned=req.tuned,
             )
+            if not hit:
+                self.stats.add_phase("trace", time.perf_counter() - t0)
             hits_before = plan.timeline_hits
             try:
-                result, retries, faults, backoff_ns = self._execute_plan(
-                    plan, req.x
-                )
+                trace, retries, faults, backoff_ns = self._replay_plan(plan)
             except Exception:
                 # this request and everything after it go back on the queue
                 self._requeue(group.requests[idx:])
                 raise
-            served_ns = result.trace.total_ns + backoff_ns
+            served_ns = trace.total_ns + backoff_ns
             self.stats.record_launch(
                 LaunchRecord(
                     kind="single",
                     device_ns=served_ns,
                     n_elements=req.n,
-                    io_bytes=result.io_bytes,
+                    io_bytes=req.n * plan._io_bytes_per_element(),
                     requests=1,
                     plan_hit=hit,
                     timeline_hit=plan.timeline_hits > hits_before,
@@ -415,12 +539,11 @@ class ScanService:
                 )
             )
             ticket = self._tickets.pop(req.req_id)
-            ticket.values = result.values
             ticket.device_ns = served_ns
             ticket.plan_hit = hit
             ticket.retries += retries
             ticket.faults += faults
-            self._finish(ticket, req)
+            self._defer_row(entries, idx, ticket, req)
             tickets.append(ticket)
         return tickets
 

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["LaunchRecord", "ServiceStats"]
+__all__ = ["HOST_PHASES", "LaunchRecord", "ServiceStats"]
+
+#: canonical host-phase order for reports: plan building (kernel tracing),
+#: tuned-store lookups, functional NumPy numerics, simulated-timeline
+#: replay (incl. retry/fault handling), and pool routing decisions
+HOST_PHASES = ("trace", "tune", "numerics", "timeline", "routing")
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,11 @@ class ServiceStats:
     #: every DeviceFault observed, including ones whose launch ultimately
     #: failed (so this can exceed the sum of per-launch ``faults``)
     fault_events: int = 0
+    #: accumulated host seconds per serving phase (see :data:`HOST_PHASES`).
+    #: Phases deferred onto executor threads report the seconds they ran,
+    #: which overlap other phases — the breakdown attributes work, it is
+    #: not a partition of wall-clock under ``parallel=``.
+    phase_host_s: "dict[str, float]" = field(default_factory=dict)
 
     def record_request(self, host_s: float) -> None:
         self.host_latencies_s.append(host_s)
@@ -60,6 +70,24 @@ class ServiceStats:
 
     def record_fault(self) -> None:
         self.fault_events += 1
+
+    def add_phase(self, phase: str, seconds: float) -> None:
+        """Charge ``seconds`` of host time to one serving phase."""
+        self.phase_host_s[phase] = self.phase_host_s.get(phase, 0.0) + seconds
+
+    def phase_line(self) -> "str | None":
+        """One formatted breakdown line, or None before any phase ran."""
+        if not self.phase_host_s:
+            return None
+        parts = [
+            f"{name} {self.phase_host_s[name] * 1e3:.2f} ms"
+            for name in HOST_PHASES
+            if name in self.phase_host_s
+        ]
+        for name in sorted(self.phase_host_s):
+            if name not in HOST_PHASES:
+                parts.append(f"{name} {self.phase_host_s[name] * 1e3:.2f} ms")
+        return "host phases     : " + ", ".join(parts)
 
     # -- request-side metrics ----------------------------------------------
 
@@ -178,6 +206,9 @@ class ServiceStats:
             f"{self.gelems_per_s:.1f} GElems/s, "
             f"{self.bandwidth_gbps:.1f} GB/s",
         ]
+        phases = self.phase_line()
+        if phases is not None:
+            lines.append(phases)
         if self.fault_events:
             lines.append(
                 f"resilience      : {self.fault_events} fault events, "

@@ -295,25 +295,32 @@ class ShardedScanner:
             scan_ns.append(result.trace.total_ns)
 
         # host barrier: exclusive-scan the D shard totals (accumulator
-        # dtype, untimed — D scalar adds on the host, as LightScan's
-        # inter-processor combine is negligible next to the shards)
+        # dtype, untimed — one length-D cumsum on the host, as LightScan's
+        # inter-processor combine is negligible next to the shards).  The
+        # cumsum adds the totals in the same left-to-right order as the
+        # old scalar chain, so the carries are bit-identical.
         out_np = shard_values[0].dtype
-        carries = [out_np.type(0)]
-        for vals in shard_values[:-1]:
-            carries.append(out_np.type(carries[-1] + vals[-1]))
+        totals = np.array(
+            [vals[-1] for vals in shard_values[:-1]], dtype=out_np
+        )
+        carries = np.cumsum(totals, dtype=out_np)
 
         # stage 2: devices 1..D-1 stream their carry over the shard; the
         # functional add happens host-side in the accumulator dtype (the
-        # traced kernel is value-independent, so it replays for timing)
+        # traced kernel is value-independent, so it replays for timing).
+        # Each carry-add writes straight into the assembled output, so no
+        # in-place shard mutation + concatenate pass is needed.
+        values = np.empty(x.size, dtype=out_np)
+        start0, end0 = ranges[0]
+        values[start0:end0] = shard_values[0]
         carry_ns: list[float] = [0.0]
         for d in range(1, len(ranges)):
             plan, carry_traced, _hit = shard_plans[d]
             device = self.pool[d].device
             trace = device.replay(carry_traced)
             carry_ns.append(trace.total_ns)
-            shard_values[d] += carries[d]
-
-        values = np.concatenate(shard_values)
+            start, end = ranges[d]
+            np.add(shard_values[d], carries[d - 1], out=values[start:end])
         records = [
             ShardRecord(
                 device=d,

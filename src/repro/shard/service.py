@@ -16,15 +16,27 @@ workload tuned once serves the whole pool.  Aggregate throughput is
 total logical elements over the pool **makespan** (the busiest member's
 simulated time): members run concurrently, so that is the simulated
 wall-clock of the whole mix.
+
+``parallel=`` adds *host-side* concurrency behind the same semantics:
+members share one :class:`~repro.serve.executor.HostExecutor`, every
+schedule-bearing step (drains, routing, fault draws, timeline replays,
+busy-time updates) stays serial on the calling thread in identical
+order, and only the pure stacked numerics run on pool threads — deferred
+across members and joined after the routing loop, so a D-member flush
+overlaps all members' NumPy passes.  Same seed, same oracle bits, same
+tickets, same simulated timeline, with or without workers.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from ..errors import DeviceFault
 from ..hw.config import ASCEND_910B4, DeviceConfig
 from ..serve.batcher import LaunchGroup, RequestBatcher, ScanRequest
+from ..serve.executor import HostExecutor
 from ..serve.resilience import (
     DEAD,
     DEGRADED,
@@ -34,6 +46,7 @@ from ..serve.resilience import (
     RetryPolicy,
 )
 from ..serve.service import ScanService, ScanTicket
+from ..serve.stats import HOST_PHASES
 from .pool import DevicePool
 
 __all__ = ["PoolScanService"]
@@ -56,6 +69,7 @@ class PoolScanService:
         gm_budget: "int | None" = None,
         retry: "RetryPolicy | None" = None,
         controller=None,
+        parallel: "int | None" = None,
     ):
         self.pool = (
             pool
@@ -69,6 +83,9 @@ class PoolScanService:
         #: launch-group pick order (simulated member completion order),
         #: routing tie-breaks, and every member batcher's drain order
         self.controller = controller
+        #: shared host executor all members' numerics jobs run on;
+        #: ``parallel=None``/0/1 keeps everything inline on this thread
+        self.executor = HostExecutor(parallel)
         self.workers = [
             ScanService(
                 ctx,
@@ -80,9 +97,14 @@ class PoolScanService:
                 tune_store=self.tune_store,
                 retry=retry,
                 controller=controller,
+                executor=self.executor,
             )
             for ctx in self.pool
         ]
+        #: host seconds spent on pool-level scheduling (drain, LPT sort,
+        #: group picks, routing, failover bookkeeping) — everything in
+        #: ``flush`` that is not member serving time
+        self.routing_host_s = 0.0
         # the shared batcher only needs a cache for key construction, and
         # plan keys are shape classes — device-independent by design
         self.batcher = RequestBatcher(
@@ -181,55 +203,79 @@ class PoolScanService:
         re-raise — and even then all unserved requests are back in the
         pool queue with their tickets tracked.
         """
+        t_flush = time.perf_counter()
+        member_s = 0.0
         groups = self.batcher.drain()
         # LPT: heaviest groups place first, onto the least-busy member
         groups.sort(key=lambda g: g.padded_elements, reverse=True)
         queue = [(group, 0) for group in groups]
         completed: list[ScanTicket] = []
-        while queue:
-            # the schedule controller picks which queued group goes next —
-            # the simulated analogue of members completing (and freeing
-            # routing capacity) in an arbitrary order
-            pick = 0
-            if self.controller is not None and len(queue) > 1:
-                pick = self.controller.choose("pool.group", len(queue))
-            group, failovers = queue.pop(pick)
-            try:
-                target = self._route_target()
-            except DeviceFault:
-                self._restore(group, queue)
-                raise
-            worker = self.workers[target]
-            routed: list[tuple[ScanRequest, ScanTicket]] = []
-            for req in group.requests:
-                ticket = self._tickets.pop(req.req_id)
-                ticket.device = target
-                worker.enqueue(req, ticket)
-                routed.append((req, ticket))
-            before = worker.stats.device_ns
-            try:
-                completed.extend(worker.flush())
-            except DeviceFault as fault:
-                # faulted time (incl. retries' backoff already served)
-                self.busy_ns[target] += worker.stats.device_ns - before
-                if fault.permanent:
-                    self._dead[target] = True
-                leftover = self._recall(worker, group, fault)
-                for _, ticket in routed:
-                    if ticket.done:
-                        completed.append(ticket)
-                if not leftover.requests:
-                    continue
-                self.failovers[target] += 1
-                if failovers + 1 > self._max_group_failovers:
-                    self._restore(leftover, queue)
+        # members leave their numerics jobs pending until every group is
+        # routed and replayed — with a parallel executor the whole pool's
+        # NumPy passes overlap this (serial, schedule-bearing) loop
+        for w in self.workers:
+            w._defer_external = True
+        try:
+            while queue:
+                # the schedule controller picks which queued group goes
+                # next — the simulated analogue of members completing (and
+                # freeing routing capacity) in an arbitrary order
+                pick = 0
+                if self.controller is not None and len(queue) > 1:
+                    pick = self.controller.choose("pool.group", len(queue))
+                group, failovers = queue.pop(pick)
+                try:
+                    target = self._route_target()
+                except DeviceFault:
+                    self._restore(group, queue)
                     raise
-                queue.append((leftover, failovers + 1))
-                continue
-            self.busy_ns[target] += worker.stats.device_ns - before
-            self.groups_routed[target] += 1
+                worker = self.workers[target]
+                routed: list[tuple[ScanRequest, ScanTicket]] = []
+                for req in group.requests:
+                    ticket = self._tickets.pop(req.req_id)
+                    ticket.device = target
+                    worker.enqueue(req, ticket)
+                    routed.append((req, ticket))
+                before = worker.stats.device_ns
+                t_member = time.perf_counter()
+                try:
+                    completed.extend(worker.flush())
+                except DeviceFault as fault:
+                    member_s += time.perf_counter() - t_member
+                    # faulted time (incl. retries' backoff already served)
+                    self.busy_ns[target] += worker.stats.device_ns - before
+                    if fault.permanent:
+                        self._dead[target] = True
+                    leftover = self._recall(worker, group, fault)
+                    for _, ticket in routed:
+                        if ticket.done:
+                            completed.append(ticket)
+                    if not leftover.requests:
+                        continue
+                    self.failovers[target] += 1
+                    if failovers + 1 > self._max_group_failovers:
+                        self._restore(leftover, queue)
+                        raise
+                    queue.append((leftover, failovers + 1))
+                    continue
+                member_s += time.perf_counter() - t_member
+                self.busy_ns[target] += worker.stats.device_ns - before
+                self.groups_routed[target] += 1
+        finally:
+            t_resolve = time.perf_counter()
+            for w in self.workers:
+                w._defer_external = False
+                w.resolve_deferred()
+            member_s += time.perf_counter() - t_resolve
+            self.routing_host_s += time.perf_counter() - t_flush - member_s
         completed.sort(key=lambda t: t.req_id)
         return completed
+
+    def shutdown(self) -> None:
+        """Join pending numerics and release the shared executor."""
+        for w in self.workers:
+            w.resolve_deferred()
+        self.executor.shutdown()
 
     def _recall(
         self,
@@ -369,4 +415,24 @@ class PoolScanService:
                 f"tuned store     : {len(self.tune_store)} entries "
                 f"(shared across all {len(self.workers)} members)"
             )
+        phases = self.phase_host_s()
+        if phases:
+            parts = [
+                f"{name} {phases[name] * 1e3:.2f} ms"
+                for name in HOST_PHASES
+                if name in phases
+            ]
+            lines.append("host phases     : " + ", ".join(parts))
         return "\n".join(lines)
+
+    def phase_host_s(self) -> "dict[str, float]":
+        """Pool-wide host-phase seconds: member phases plus routing."""
+        totals: dict[str, float] = {}
+        for worker in self.workers:
+            for name, seconds in worker.stats.phase_host_s.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        if self.routing_host_s:
+            totals["routing"] = (
+                totals.get("routing", 0.0) + self.routing_host_s
+            )
+        return totals

@@ -31,6 +31,7 @@ from .tuner import (
     format_result,
     tune_workload,
 )
+from .warmup import WarmupReport, warm_pool, warm_service, warm_tune_store
 
 __all__ = [
     "SWEEP_S",
@@ -50,4 +51,8 @@ __all__ = [
     "evaluate_candidate",
     "format_result",
     "tune_workload",
+    "WarmupReport",
+    "warm_tune_store",
+    "warm_service",
+    "warm_pool",
 ]

@@ -161,6 +161,31 @@ class TuneStore:
         return path
 
     @classmethod
+    def from_payload(cls, payload: dict, config: DeviceConfig) -> "TuneStore":
+        """Rehydrate a store from :meth:`to_payload` output — the warm-up
+        path's shard transport (workers return payload dicts over the
+        process pool; the parent merges them).  Unlike :meth:`load`, which
+        tolerates stale files by returning an empty store, an in-memory
+        payload that does not match is a programming error and raises
+        :class:`~repro.errors.ConfigError` outright."""
+        store = cls(config)
+        version = payload.get("version")
+        if version != STORE_VERSION:
+            raise ConfigError(
+                f"tune-store payload has schema version {version!r}, "
+                f"expected {STORE_VERSION}"
+            )
+        fingerprint = payload.get("fingerprint")
+        if fingerprint != store.fingerprint:
+            raise ConfigError(
+                "tune-store payload was produced on a different device "
+                f"config ({str(fingerprint)[:12]} vs {store.fingerprint[:12]})"
+            )
+        for key, raw in payload.get("entries", {}).items():
+            store.entries[key] = TunedEntry(**raw)
+        return store
+
+    @classmethod
     def load(cls, path: str, config: DeviceConfig) -> "TuneStore":
         """Load a store for ``config``; a missing file, an older schema
         version, or a fingerprint mismatch all yield an empty store (the

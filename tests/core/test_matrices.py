@@ -55,6 +55,51 @@ class TestHostConstantsMemo:
         assert info_after_second.misses == 1
         assert info_after_second.hits == info_after_first.hits + 1
 
+    def test_concurrent_access_single_materialisation_stays_frozen(self):
+        """Racing warm-up threads get one shared materialisation per key
+        and every handed-out array is still read-only."""
+        import threading
+
+        host_constant_matrices.cache_clear()
+        results = []
+        errors = []
+        start = threading.Barrier(8)
+
+        def worker():
+            try:
+                start.wait()
+                for _ in range(20):
+                    results.append(host_constant_matrices(32, 32, "fp16"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        first = results[0]
+        for entry in results:
+            assert all(a is b for a, b in zip(entry, first))
+            assert all(not a.flags.writeable for a in entry)
+        info = host_constant_matrices.cache_info()
+        assert info.misses == 1
+        assert info.currsize == 1
+
+    def test_unfrozen_entry_fails_loudly(self):
+        """A cache entry whose array was made writable again is detected
+        at the next access instead of silently corrupting later uploads."""
+        host_constant_matrices.cache_clear()
+        u, _sl, _ones = host_constant_matrices(16, 16, "fp16")
+        u.setflags(write=True)
+        try:
+            with pytest.raises(KernelError):
+                host_constant_matrices(16, 16, "fp16")
+        finally:
+            u.setflags(write=False)
+            host_constant_matrices.cache_clear()
+
 
 class TestMatrices:
     def test_upper_ones(self):

@@ -209,15 +209,16 @@ class TestServiceRetry:
     def test_non_fault_exception_keeps_tickets(self, monkeypatch):
         """Exception safety holds for arbitrary launch failures, not only
         DeviceFault (regression: tickets used to be popped before the
-        launch could fail)."""
+        launch could fail).  The serve path launches via
+        ``ScanPlan.replay_timing`` (numerics are deferred separately)."""
         from repro.core.api import ScanPlan
 
         svc = ScanService(config=toy_config())
         ts = [svc.submit(_x(600, i), algorithm="scanu", s=32) for i in range(2)]
         monkeypatch.setattr(
             ScanPlan,
-            "execute",
-            lambda self, x: (_ for _ in ()).throw(RuntimeError("launch bug")),
+            "replay_timing",
+            lambda self, **kw: (_ for _ in ()).throw(RuntimeError("launch bug")),
         )
         with pytest.raises(RuntimeError, match="launch bug"):
             svc.flush()

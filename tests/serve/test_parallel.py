@@ -1,0 +1,167 @@
+"""Host-executor parallelism must be invisible to results and schedules.
+
+The `parallel=` seam defers only pure numerics; every schedule-bearing
+decision (fault draws, retries, routing, simulated time) stays serial on
+the calling thread.  These tests pin the contract: any worker count
+produces bit-identical values, identical simulated timelines and identical
+pool routing — and the executor itself behaves (inline fallback, chunking
+by row index, idempotent shutdown).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.reference import exact_fp16_scan_input, inclusive_scan
+from repro.hw.config import toy_config
+from repro.hw.faults import FaultPlan
+from repro.serve import HostExecutor, ScanService
+from repro.shard import PoolScanService
+
+
+class TestHostExecutor:
+    def test_inline_when_single_worker(self):
+        for workers in (None, 0, 1):
+            ex = HostExecutor(workers)
+            assert not ex.parallel
+            job = ex.submit(lambda a, b: a + b, 2, 3)
+            assert job.result() == 5
+            ex.shutdown()
+
+    def test_parallel_submit_runs_on_threads(self):
+        ex = HostExecutor(2)
+        assert ex.parallel
+        names = set()
+        def who():
+            names.add(threading.current_thread().name)
+            return 1
+        jobs = [ex.submit(who) for _ in range(8)]
+        assert sum(j.result() for j in jobs) == 8
+        assert all(n.startswith("repro-host") for n in names)
+        ex.shutdown()
+
+    def test_inline_jobs_propagate_exceptions(self):
+        ex = HostExecutor(None)
+        job = ex.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            job.result()
+
+    def test_parallel_jobs_propagate_exceptions(self):
+        with HostExecutor(2) as ex:
+            job = ex.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                job.result()
+
+    def test_chunk_count_is_worker_count_independent_of_timing(self):
+        ex = HostExecutor(4)
+        assert ex.chunk_count(3) == 1  # too small to split
+        assert ex.chunk_count(64) == 4
+        assert ex.chunk_count(17, min_chunk=8) == 2
+        ex.shutdown()
+        inline = HostExecutor(None)
+        assert inline.chunk_count(64) == 1
+
+    def test_shutdown_idempotent(self):
+        ex = HostExecutor(2)
+        ex.shutdown()
+        ex.shutdown()
+
+
+def _run_service(parallel, *, faults=False):
+    svc = ScanService(config=toy_config(), parallel=parallel)
+    if faults:
+        svc.ctx.device.fault_plan = FaultPlan(seed=11, transient_rate=0.3)
+    rng = np.random.default_rng(3)
+    inputs = {}
+    for _ in range(12):
+        x, _ = exact_fp16_scan_input(int(rng.choice((200, 256, 1000))), rng)
+        t = svc.submit(x, algorithm="scanu", s=16)
+        inputs[t.req_id] = x
+    done = svc.flush()
+    stats = svc.stats
+    svc.shutdown()
+    return inputs, done, stats
+
+
+class TestServiceParallelDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_results_and_timeline_identical(self, workers):
+        inputs, serial, s_stats = _run_service(None)
+        _, parallel, p_stats = _run_service(workers)
+        assert [t.req_id for t in serial] == [t.req_id for t in parallel]
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.result(), b.result())
+            assert a.result().dtype == b.result().dtype
+            assert a.device_ns == b.device_ns
+            assert a.batched == b.batched
+        assert s_stats.device_ns == p_stats.device_ns
+        for t in serial:
+            assert np.array_equal(t.result(), inclusive_scan(inputs[t.req_id]))
+
+    def test_fault_schedule_identical_under_parallelism(self):
+        """Fault draws happen on the replay (serial) half, so retry counts
+        and simulated backoff cannot depend on the worker count."""
+        _, serial, s_stats = _run_service(None, faults=True)
+        _, parallel, p_stats = _run_service(4, faults=True)
+        assert s_stats.fault_events == p_stats.fault_events
+        assert s_stats.total_retries == p_stats.total_retries
+        assert s_stats.total_backoff_ns == p_stats.total_backoff_ns
+        for a, b in zip(serial, parallel):
+            assert a.retries == b.retries
+            assert np.array_equal(a.result(), b.result())
+
+    def test_phase_breakdown_present(self):
+        _, _, stats = _run_service(2)
+        for phase in ("numerics", "timeline"):
+            assert stats.phase_host_s.get(phase, 0.0) > 0.0
+        assert stats.phase_line() is not None
+
+
+def _run_pool(parallel, devices=3):
+    svc = PoolScanService(devices, config=toy_config(), parallel=parallel)
+    rng = np.random.default_rng(5)
+    inputs = {}
+    for _ in range(10):
+        x, _ = exact_fp16_scan_input(4096, rng)
+        t = svc.submit(x)
+        inputs[t.req_id] = x
+    for _ in range(6):
+        x = rng.integers(-20, 21, size=2048).astype(np.int8)
+        t = svc.submit(x, algorithm="scanul1", s=16)
+        inputs[t.req_id] = x
+    done = svc.flush()
+    out = {
+        t.req_id: (t.result().tobytes(), t.device, t.device_ns)
+        for t in done
+    }
+    busy, makespan = list(svc.busy_ns), svc.makespan_ns
+    phases = svc.phase_host_s()
+    svc.shutdown()
+    return inputs, out, busy, makespan, phases
+
+
+class TestPoolParallelDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_pool_identical_across_worker_counts(self, workers):
+        inputs, serial, s_busy, s_mk, _ = _run_pool(None)
+        _, parallel, p_busy, p_mk, _ = _run_pool(workers)
+        assert serial == parallel  # bits, routing and simulated time
+        assert s_busy == p_busy
+        assert s_mk == p_mk
+        for req_id, (raw, _dev, _ns) in serial.items():
+            want = inclusive_scan(inputs[req_id])
+            assert want.tobytes() == raw
+
+    def test_pool_phase_breakdown_includes_routing(self):
+        _, _, _, _, phases = _run_pool(2)
+        assert phases.get("routing", 0.0) > 0.0
+        assert phases.get("numerics", 0.0) > 0.0
+
+    def test_pool_summary_mentions_phases(self):
+        svc = PoolScanService(2, config=toy_config(), parallel=2)
+        x, _ = exact_fp16_scan_input(512, np.random.default_rng(0))
+        svc.submit(x)
+        svc.flush()
+        assert "host phases" in svc.summary()
+        svc.shutdown()
