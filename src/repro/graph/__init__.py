@@ -1,0 +1,51 @@
+"""Operator-graph front end: serve the whole op zoo through one runtime.
+
+Build a :class:`~repro.graph.ir.Graph` out of registered operators
+(:mod:`repro.graph.op`), lower it once per shape class to captured
+device programs (:mod:`repro.graph.interp`), and serve it through the
+existing batching/pool/failover stack via ``ScanService.submit_graph`` /
+``PoolScanService.submit_graph`` (:mod:`repro.graph.service`).
+"""
+
+from .interp import GraphPlanCache, GraphRunner, LoweredNode
+from .ir import Graph, Node
+from .op import (
+    ELEMENTWISE_FNS,
+    OP_REGISTRY,
+    OpNode,
+    TensorSpec,
+    get_op,
+    register_op,
+)
+from .service import (
+    GraphKey,
+    GraphRequest,
+    GraphTicket,
+    graph_oracle_job,
+    llm_sample,
+    oracle_outputs,
+    scan_graph,
+    sort_graph,
+)
+
+__all__ = [
+    "Graph",
+    "Node",
+    "OpNode",
+    "TensorSpec",
+    "OP_REGISTRY",
+    "ELEMENTWISE_FNS",
+    "register_op",
+    "get_op",
+    "GraphRunner",
+    "GraphPlanCache",
+    "LoweredNode",
+    "GraphKey",
+    "GraphRequest",
+    "GraphTicket",
+    "llm_sample",
+    "sort_graph",
+    "scan_graph",
+    "oracle_outputs",
+    "graph_oracle_job",
+]

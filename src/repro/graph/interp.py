@@ -1,0 +1,337 @@
+"""Graph lowering + interpretation: capture once, replay per request.
+
+:class:`GraphRunner` owns a dedicated *build* device (its own
+:class:`~repro.core.api.ScanContext` on the **same** ``DeviceConfig``
+object the serving devices use, so memoized kernel timelines — keyed by
+config identity — transfer to every pool member) plus the ops driver and
+a scan :class:`~repro.serve.plan.PlanCache`.  Lowering a node means
+running its real device implementation once on the build device under
+:meth:`AscendDevice.capture_launches
+<repro.hw.device.AscendDevice.capture_launches>`, harvesting the traced
+kernels, and differentially checking the device outputs bit-exactly
+against the op's NumPy oracle on exactness-conditioned validation inputs
+(:class:`~repro.errors.KernelError` on divergence).  Scan nodes instead
+go through the plan cache — consulting the TuneStore like
+``ScanService`` — so tuned scan configurations flow into graphs for
+free.
+
+Lowered nodes are memoized in :class:`GraphPlanCache` keyed on
+``(kind, shape_class)``: the steady-state cost of serving a graph
+request is replaying the captured kernels (O(1) memoized timelines) plus
+the host oracle numerics — no re-tracing, which is exactly what the
+hand-chained ``AscendOps`` path pays on every call.
+
+Build-device residency: all capture-time GM traffic lands on the build
+device, so pool members' GM accounting (and the fuzz harness's GM
+invariants) are untouched by graph serving; members only ever replay.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.api import ScanContext, ScanPlan
+from ..errors import ConfigError, KernelError
+from ..ops.driver import AscendOps
+from ..ops.topp import TopPSampler
+from ..serve.plan import PlanCache
+from .ir import Graph, Node
+from .op import OpNode, TensorSpec, get_op
+
+__all__ = [
+    "LoweredNode",
+    "GraphPlanCache",
+    "GraphRunner",
+    "top_p_device_sample",
+    "DEFAULT_SCAN_ALGORITHM",
+]
+
+#: scan algorithm when a scan node neither names one nor has a tuned entry
+DEFAULT_SCAN_ALGORITHM = "scanu"
+
+
+def top_p_device_sample(
+    ops: AscendOps,
+    probs: np.ndarray,
+    ids: np.ndarray,
+    *,
+    p: float,
+    theta: float,
+    s: int = 128,
+) -> np.ndarray:
+    """Device top-p pipeline (radix sort + MCScan cumsum + predicate
+    counts) with the winner looked up in ``ids`` — the lowering behind the
+    ``top_p_sample`` op."""
+    res = TopPSampler(ops, s=s).sample(probs, p, backend="cube", theta=theta)
+    token = int(ids[int(res.values[0])])
+    return np.asarray([token], dtype=np.int64)
+
+
+@dataclass
+class LoweredNode:
+    """One op kind at one shape class, lowered to replayable device
+    programs.  ``traced`` replays on any device sharing the build config
+    (timelines are memoized per config identity)."""
+
+    kind: str
+    shape_class: tuple
+    #: captured device programs, in launch order
+    traced: "list"
+    #: host seconds the capture + differential validation cost (cold)
+    build_host_s: float
+    #: True when the build-time device-vs-oracle check ran bit-exactly;
+    #: None when delegated (scan plans validate inside build_plan)
+    validated: "bool | None"
+    #: True when a TuneStore entry picked the configuration (scan nodes)
+    tuned: bool = False
+    #: True when the captured program's structure depends on the build
+    #: data (quickselect) — replay timing is a steady-state approximation
+    data_dependent: bool = False
+    #: the owning scan plan, when the node lowered through the plan cache
+    plan: "ScanPlan | None" = None
+    replays: int = 0
+
+    @property
+    def launches(self) -> int:
+        return len(self.traced)
+
+    def device_ns(self, device) -> float:
+        """Simulated ns of one replay of this node (memoized timelines)."""
+        return sum(device.time_traced(t) for t in self.traced)
+
+
+class GraphPlanCache:
+    """Build-once store of :class:`LoweredNode` keyed on
+    ``(kind, shape_class)`` — the graph analogue of the scan PlanCache."""
+
+    def __init__(self):
+        self._lowered: "dict[tuple, LoweredNode]" = {}
+        self.hits = 0
+        self.misses = 0
+        self.build_host_s = 0.0
+
+    def get(self, key: tuple) -> "LoweredNode | None":
+        low = self._lowered.get(key)
+        if low is not None:
+            self.hits += 1
+        return low
+
+    def put(self, key: tuple, low: LoweredNode) -> None:
+        self.misses += 1
+        self.build_host_s += low.build_host_s
+        self._lowered[key] = low
+
+    def __len__(self) -> int:
+        return len(self._lowered)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._lowered
+
+    def stats(self) -> dict:
+        return {
+            "lowered": len(self._lowered),
+            "hits": self.hits,
+            "misses": self.misses,
+            "build_host_s": self.build_host_s,
+            "launches": sum(l.launches for l in self._lowered.values()),
+            "tuned": sum(1 for l in self._lowered.values() if l.tuned),
+        }
+
+
+@dataclass
+class GraphRunner:
+    """Lowers and interprets operator graphs against one device config.
+
+    One runner is shared across a whole service (all pool members): the
+    cache key is the shape class, and replayed timelines are valid on any
+    member because every member runs the same config object.
+    """
+
+    config: "object"
+    tune_store: "object | None" = None
+    validate: bool = True
+    ctx: ScanContext = field(init=False)
+    ops: AscendOps = field(init=False)
+    plans: PlanCache = field(init=False)
+    cache: GraphPlanCache = field(init=False)
+
+    def __post_init__(self):
+        self.ctx = ScanContext(self.config)
+        self.ops = AscendOps(scan_context=self.ctx)
+        self.plans = PlanCache(self.ctx, validate=self.validate)
+        self.cache = GraphPlanCache()
+
+    @property
+    def device(self):
+        return self.ctx.device
+
+    # -- lowering -----------------------------------------------------------
+
+    def lower(self, graph: Graph) -> "tuple[list, bool]":
+        """Validate + lower every node; returns (``[(node, LoweredNode)]``
+        in topological order, whether anything had to be built)."""
+        specs = graph.validate()
+        entries = []
+        built = False
+        for node in graph.toposort():
+            op = get_op(node.kind)
+            in_specs = [specs[e] for e in node.inputs]
+            key = (node.kind, op.shape_class(in_specs, node.params))
+            low = self.cache.get(key)
+            if low is None:
+                low = self._build(op, key, node, in_specs)
+                self.cache.put(key, low)
+                built = True
+            entries.append((node, low))
+        return entries, built
+
+    def _build(
+        self,
+        op: "type[OpNode]",
+        key: tuple,
+        node: Node,
+        in_specs: "list[TensorSpec]",
+    ) -> LoweredNode:
+        if any(s.n is None for s in in_specs):
+            raise ConfigError(
+                f"node {node.name!r} ({node.kind}) consumes a data-dependent"
+                f"-length edge; such edges can only be graph outputs"
+            )
+        if node.kind == "scan":
+            return self._build_scan(key, node, in_specs)
+        t0 = time.perf_counter()
+        inputs = op.validation_inputs(in_specs, node.params)
+        with self.device.capture_launches() as captured:
+            got = op.device_run(self.ops, inputs, node.params)
+        if not captured:
+            raise KernelError(
+                f"lowering {node.kind} captured no device launches"
+            )
+        validated = None
+        if self.validate:
+            expected = op.oracle(inputs, node.params)
+            for i, (g, e) in enumerate(zip(got, expected)):
+                if g.dtype != e.dtype or not np.array_equal(g, e):
+                    raise KernelError(
+                        f"graph lowering validation failed for {node.kind} "
+                        f"output {op.output_names[i]!r}: device and oracle "
+                        f"diverge on the exactness-conditioned build input"
+                    )
+            validated = True
+        return LoweredNode(
+            kind=node.kind,
+            shape_class=key[1],
+            traced=list(captured),
+            build_host_s=time.perf_counter() - t0,
+            validated=validated,
+            data_dependent=op.data_dependent_trace,
+        )
+
+    def _build_scan(
+        self, key: tuple, node: Node, in_specs: "list[TensorSpec]"
+    ) -> LoweredNode:
+        """Scan nodes lower through the plan cache (TuneStore-aware,
+        plan-level exact validation), keeping the plan alive so its traced
+        program stays replayable."""
+        t0 = time.perf_counter()
+        n = in_specs[0].n
+        dtype = in_specs[0].dtype
+        exclusive = bool(node.params["exclusive"])
+        algorithm, s, block_dim, tuned = self._resolve_scan(
+            n, dtype, exclusive, node.params
+        )
+        plan = self.plans.get_1d(
+            algorithm,
+            n,
+            dtype,
+            s=s,
+            exclusive=exclusive,
+            block_dim=block_dim,
+            tuned=tuned,
+        )
+        return LoweredNode(
+            kind=node.kind,
+            shape_class=key[1],
+            traced=[plan.traced],
+            build_host_s=time.perf_counter() - t0,
+            validated=plan.validated,
+            tuned=tuned,
+            plan=plan,
+        )
+
+    def _resolve_scan(
+        self, n: int, dtype: str, exclusive: bool, params: dict
+    ) -> "tuple[str, int, int | None, bool]":
+        """(algorithm, s, block_dim, tuned) for a scan node — explicit
+        parameters win; otherwise the TuneStore, then the serve default.
+        Tuned ``vector`` entries are skipped: the graph scan contract is
+        accumulator-dtype output (see :class:`~repro.graph.op.ScanOp`)."""
+        algorithm = params["algorithm"]
+        s = params["s"]
+        if algorithm is not None:
+            return algorithm, s or 128, None, False
+        if self.tune_store is not None:
+            entry = self.tune_store.lookup_1d(
+                n=n, dtype=dtype, exclusive=exclusive
+            )
+            if entry is not None and entry.algorithm != "vector":
+                return entry.algorithm, entry.s, entry.block_dim, True
+        default = "mcscan" if exclusive else DEFAULT_SCAN_ALGORITHM
+        return default, s or 128, None, False
+
+    # -- interpretation -----------------------------------------------------
+
+    def replay(self, entries, device=None) -> "list":
+        """Replay every node's captured programs on ``device`` (default:
+        the build device); returns the traces in launch order.  Numerics
+        are the caller's oracle — this is pure device-time accounting."""
+        device = device if device is not None else self.device
+        traces = []
+        for node, low in entries:
+            low.replays += 1
+            for tk in low.traced:
+                traces.append(device.replay(tk, label=f"graph {node.name}"))
+        return traces
+
+    def execute(
+        self, graph: Graph, inputs, *, params_override=None, device=None
+    ) -> "GraphRunResult":
+        """Lower (or hit the cache), replay, and evaluate the oracle —
+        the one-call interpreter used by the example, the CLI demo and the
+        differential tests.  Serving (`ScanService._serve_graph`) does the
+        same steps with batching/retry/stats around them."""
+        entries, _ = self.lower(graph)
+        traces = self.replay(entries, device=device)
+        outputs = graph.run_oracle(inputs, params_override)
+        per_node = {}
+        i = 0
+        for node, low in entries:
+            span = traces[i : i + low.launches]
+            i += low.launches
+            per_node[node.name] = sum(t.total_ns for t in span)
+        return GraphRunResult(
+            outputs=outputs,
+            traces=traces,
+            node_ns=per_node,
+        )
+
+
+@dataclass
+class GraphRunResult:
+    """Oracle outputs + replayed device accounting of one graph run."""
+
+    outputs: "tuple[np.ndarray, ...]"
+    traces: "list"
+    #: node name -> summed simulated ns of its launches
+    node_ns: "dict[str, float]"
+
+    @property
+    def time_ns(self) -> float:
+        return sum(t.total_ns for t in self.traces)
+
+    @property
+    def launches(self) -> int:
+        return len(self.traces)

@@ -1,0 +1,697 @@
+"""Operator registry for the graph runtime (one class per operator).
+
+Adapted from the AscendGraph idiom (a per-op ``Operator`` class registry
+consumed by an FX-graph interpreter): each operator the serve layer can
+host is a subclass of :class:`OpNode` registered under its ``kind`` via
+:func:`register_op`.  An op class declares
+
+* **arity and typing** — :meth:`~OpNode.infer` validates input
+  :class:`TensorSpec` dtypes/shapes and produces the output specs (raising
+  :class:`~repro.errors.ConfigError` with a diagnostic on mismatch);
+* **a shape-class signature** — :meth:`~OpNode.shape_class` is the
+  memoization key of the graph plan cache: two nodes with equal shape
+  classes replay the same captured device program;
+* **a NumPy oracle** — :meth:`~OpNode.oracle` defines the op's served
+  numerics (the graph layer serves oracle bits, exactly as the scan serve
+  layer's ``plan_compute`` numerics *are* the checker oracle);
+* **a device lowering** — :meth:`~OpNode.device_run` executes the op once
+  through :class:`~repro.ops.driver.AscendOps` on the build device; the
+  interpreter runs it under :meth:`AscendDevice.capture_launches
+  <repro.hw.device.AscendDevice.capture_launches>` to harvest the traced
+  kernels, and differentially compares the device outputs against the
+  oracle on **exactness-conditioned** validation data
+  (:meth:`~OpNode.validation_inputs`) before admitting the lowering.
+
+Tie/rounding conventions: sorting ops (radix_sort, topk, top_p_sample)
+define ties as *stable on the original index* — the device radix sort is
+a stable LSB sort on order-preserving key encodings, which matches the
+oracle's ``np.argsort(kind="stable")`` exactly.  Signed zeros and NaN are
+outside the contract (the fp16 key encoding orders ``-0.0 < +0.0`` where
+NumPy sorts them equal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.reference import (
+    accum_np_dtype,
+    compress as compress_oracle,
+    exclusive_scan,
+    inclusive_scan,
+    stable_split,
+)
+from ..errors import ConfigError
+from ..ops.elementwise import ElementwiseMapKernel
+
+__all__ = [
+    "TensorSpec",
+    "OpNode",
+    "OP_REGISTRY",
+    "register_op",
+    "get_op",
+    "ELEMENTWISE_FNS",
+]
+
+#: named elementwise functions — the kernel and the oracle share the same
+#: callable, so the device map (``fn(src).astype(out_dt)`` per tile) and
+#: the oracle are identical by construction
+ELEMENTWISE_FNS = {
+    "negate": lambda v: -v,
+    "double": lambda v: v + v,
+    "abs": lambda v: np.abs(v),
+    "relu": lambda v: np.maximum(v, 0),
+}
+
+_DTYPE_NAMES = {
+    np.dtype(np.float16): "fp16",
+    np.dtype(np.float32): "fp32",
+    np.dtype(np.int8): "int8",
+    np.dtype(np.uint8): "uint8",
+    np.dtype(np.int16): "int16",
+    np.dtype(np.uint16): "uint16",
+    np.dtype(np.int32): "int32",
+    np.dtype(np.int64): "int64",
+}
+_NP_DTYPES = {name: dt for dt, name in _DTYPE_NAMES.items()}
+
+
+def dtype_name(np_dtype) -> str:
+    dt = np.dtype(np_dtype)
+    if dt not in _DTYPE_NAMES:
+        raise ConfigError(f"graph tensors do not support dtype {dt}")
+    return _DTYPE_NAMES[dt]
+
+
+def np_dtype_of(name: str) -> np.dtype:
+    if name not in _NP_DTYPES:
+        raise ConfigError(f"unknown graph dtype {name!r}")
+    return _NP_DTYPES[name]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Dtype + shape of one graph edge.  ``shape`` of None marks a
+    data-dependent length (e.g. compress output) that only the oracle can
+    determine."""
+
+    dtype: str
+    shape: "tuple[int, ...] | None" = None
+
+    @property
+    def n(self) -> "int | None":
+        return None if self.shape is None else int(np.prod(self.shape))
+
+
+#: kind -> OpNode subclass
+OP_REGISTRY: "dict[str, type[OpNode]]" = {}
+
+
+def register_op(cls: "type[OpNode]") -> "type[OpNode]":
+    """Class decorator: register an :class:`OpNode` under ``cls.kind``."""
+    if not cls.kind:
+        raise ConfigError(f"{cls.__name__} must set a non-empty kind")
+    if cls.kind in OP_REGISTRY:
+        raise ConfigError(f"operator kind {cls.kind!r} registered twice")
+    OP_REGISTRY[cls.kind] = cls
+    return cls
+
+
+def get_op(kind: str) -> "type[OpNode]":
+    op = OP_REGISTRY.get(kind)
+    if op is None:
+        raise ConfigError(
+            f"unknown operator kind {kind!r}; registered: "
+            f"{sorted(OP_REGISTRY)}"
+        )
+    return op
+
+
+class OpNode:
+    """Base class for registered operators (all hooks are classmethods —
+    node instances live in the IR as (kind, params) records, see
+    :mod:`repro.graph.ir`)."""
+
+    kind: str = ""
+    #: number of input edges
+    num_inputs: int = 1
+    #: output edge name suffixes (node ``a`` with outputs ``("values",)``
+    #: produces edge ``a.values``)
+    output_names: "tuple[str, ...]" = ("values",)
+    #: parameter defaults; a default of ``Ellipsis`` marks a required
+    #: parameter the node must supply at construction
+    param_defaults: "dict[str, object]" = {}
+    #: True when the captured trace's timing is a steady-state
+    #: approximation (data-dependent control flow, e.g. quickselect)
+    data_dependent_trace: bool = False
+
+    # -- parameters ---------------------------------------------------------
+
+    @classmethod
+    def resolve_params(cls, params: "dict | None") -> dict:
+        """Merge ``params`` over the declared defaults; unknown keys and
+        missing required parameters raise :class:`ConfigError`."""
+        params = dict(params or {})
+        unknown = set(params) - set(cls.param_defaults)
+        if unknown:
+            raise ConfigError(
+                f"op {cls.kind!r} got unknown parameter(s) "
+                f"{sorted(unknown)}; accepts {sorted(cls.param_defaults)}"
+            )
+        out = dict(cls.param_defaults)
+        out.update(params)
+        missing = [k for k, v in out.items() if v is Ellipsis]
+        if missing:
+            raise ConfigError(
+                f"op {cls.kind!r} requires parameter(s) {sorted(missing)}"
+            )
+        return out
+
+    # -- typing -------------------------------------------------------------
+
+    @classmethod
+    def infer(
+        cls, specs: "list[TensorSpec]", params: dict
+    ) -> "tuple[TensorSpec, ...]":
+        """Validate input specs and produce output specs."""
+        raise NotImplementedError
+
+    @classmethod
+    def check_arity(cls, specs: "list[TensorSpec]") -> None:
+        if len(specs) != cls.num_inputs:
+            raise ConfigError(
+                f"op {cls.kind!r} takes {cls.num_inputs} input(s), "
+                f"got {len(specs)}"
+            )
+
+    @classmethod
+    def shape_class(cls, specs: "list[TensorSpec]", params: dict) -> tuple:
+        """Hashable plan-cache key component.  The default covers every op
+        whose trace depends only on input shapes/dtypes plus the structural
+        parameters listed in :attr:`trace_params`."""
+        return (
+            tuple((s.dtype, s.shape) for s in specs),
+            tuple(sorted((k, params[k]) for k in cls.trace_params())),
+        )
+
+    @classmethod
+    def trace_params(cls) -> "tuple[str, ...]":
+        """Parameters that change the emitted device program (runtime-only
+        scalars like ``theta`` are excluded: the trace structure — and so
+        the cached timing — does not depend on them)."""
+        return tuple(sorted(cls.param_defaults))
+
+    # -- numerics ------------------------------------------------------------
+
+    @classmethod
+    def oracle(
+        cls, inputs: "list[np.ndarray]", params: dict
+    ) -> "tuple[np.ndarray, ...]":
+        raise NotImplementedError
+
+    @classmethod
+    def validation_inputs(
+        cls, specs: "list[TensorSpec]", params: dict
+    ) -> "list[np.ndarray]":
+        """Deterministic, exactness-conditioned inputs for the build-time
+        differential check (device vs oracle must be bit-exact on them)."""
+        raise NotImplementedError
+
+    @classmethod
+    def device_run(
+        cls, ops, inputs: "list[np.ndarray]", params: dict
+    ) -> "tuple[np.ndarray, ...]":
+        """Execute once on the (build) device via ``ops`` (AscendOps)."""
+        raise NotImplementedError
+
+
+def _rng(specs: "list[TensorSpec]", salt: int) -> np.random.Generator:
+    total = sum(s.n or 0 for s in specs)
+    return np.random.default_rng((0xC0FFEE, salt, total))
+
+
+def _distinct_fp16(n: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` distinct positive fp16 values (deterministic permutation).
+
+    Up to 2048 they are exact small integers; beyond that, positive fp16
+    bit patterns in ascending order (order-preserving, exact under the
+    fp32 cast the oracles compare through)."""
+    if n <= 2048:
+        return (rng.permutation(n) + 1).astype(np.float16)
+    if n > 30000:
+        raise ConfigError(
+            f"validation needs distinct positive fp16 values; n={n} exceeds "
+            f"the representable supply"
+        )
+    return (rng.permutation(n).astype(np.uint16) + 1).view(np.float16)
+
+
+def _stable_order(x: np.ndarray, *, descending: bool) -> np.ndarray:
+    """The device sort's order: stable on the original index.  Keys are
+    widened exactly (fp16->fp32, ints->int64) so negation never rounds."""
+    keys = (
+        x.astype(np.float32)
+        if x.dtype == np.float16
+        else x.astype(np.int64)
+    )
+    if descending:
+        keys = -keys
+    return np.argsort(keys, kind="stable")
+
+
+_SCAN_DTYPES = ("fp16", "int8")
+_SORT_DTYPES = ("fp16", "uint8", "int16", "uint16")
+
+
+@register_op
+class ScanOp(OpNode):
+    """1-D prefix sum through the serve layer's tuned plan machinery.
+
+    ``algorithm``/``s`` of None defer to the runner's TuneStore (exactly
+    like :meth:`ScanService.submit`); the output is always the accumulator
+    dtype (fp32 for fp16, int32 for int8) — tuned entries that resolve to
+    the in-dtype ``vector`` baseline fall back to the default plan rather
+    than change the node's declared output type."""
+
+    kind = "scan"
+    num_inputs = 1
+    output_names = ("values",)
+    param_defaults = {"algorithm": None, "s": None, "exclusive": False}
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        (x,) = specs
+        if x.dtype not in _SCAN_DTYPES:
+            raise ConfigError(
+                f"scan takes {_SCAN_DTYPES} input, got {x.dtype!r}"
+            )
+        out = dtype_name(accum_np_dtype(np_dtype_of(x.dtype)))
+        return (TensorSpec(out, x.shape),)
+
+    @classmethod
+    def oracle(cls, inputs, params):
+        fn = exclusive_scan if params["exclusive"] else inclusive_scan
+        return (fn(inputs[0]),)
+
+    @classmethod
+    def validation_inputs(cls, specs, params):
+        # PlanCache validates scan plans itself on exact data; this input
+        # only feeds the (unused) generic path
+        rng = _rng(specs, 1)
+        n = specs[0].n
+        if specs[0].dtype == "fp16":
+            return [rng.integers(-2, 3, n).astype(np.float16)]
+        return [rng.integers(-20, 21, n).astype(np.int8)]
+
+    @classmethod
+    def device_run(cls, ops, inputs, params):
+        algorithm = params["algorithm"] or "scanu"
+        s = params["s"] or 128
+        plan = ops.sc.build_plan(
+            algorithm=algorithm,
+            n=inputs[0].size,
+            dtype=inputs[0].dtype,
+            s=s,
+            exclusive=params["exclusive"],
+        )
+        try:
+            result = plan.execute(inputs[0])
+        finally:
+            plan.release()
+        return (result.values,)
+
+
+@register_op
+class ElementwiseOp(OpNode):
+    """Tiled elementwise map ``y = fn(x)`` (fn named in
+    :data:`ELEMENTWISE_FNS`; kernel and oracle share the callable)."""
+
+    kind = "elementwise"
+    num_inputs = 1
+    output_names = ("values",)
+    param_defaults = {"fn": Ellipsis}
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        if params["fn"] not in ELEMENTWISE_FNS:
+            raise ConfigError(
+                f"unknown elementwise fn {params['fn']!r}; "
+                f"known: {sorted(ELEMENTWISE_FNS)}"
+            )
+        (x,) = specs
+        if x.dtype not in ("fp16", "int8", "int16", "fp32", "int32"):
+            raise ConfigError(
+                f"elementwise does not support dtype {x.dtype!r}"
+            )
+        return (TensorSpec(x.dtype, x.shape),)
+
+    @classmethod
+    def oracle(cls, inputs, params):
+        fn = ELEMENTWISE_FNS[params["fn"]]
+        x = inputs[0]
+        return (np.asarray(fn(x)).astype(x.dtype),)
+
+    @classmethod
+    def validation_inputs(cls, specs, params):
+        rng = _rng(specs, 2)
+        n = specs[0].n
+        dt = np_dtype_of(specs[0].dtype)
+        return [rng.integers(-3, 4, n).astype(dt)]
+
+    @classmethod
+    def device_run(cls, ops, inputs, params):
+        x = inputs[0]
+        fn = ELEMENTWISE_FNS[params["fn"]]
+        from ..hw.datatypes import as_dtype
+
+        dt = as_dtype(dtype_name(x.dtype))
+        mark = ops.device.memory.mark()
+        try:
+            x_gm = ops._alloc_padded("ew_x", x, 1, dt)
+            y_gm = ops.device.alloc("ew_y", (x.size,), dt)
+            if ops.sc.warm_inputs:
+                ops.device.warm_l2(x_gm)
+            vbd = ops._vec_block_dim(x.size)
+            label = f"elementwise {params['fn']}"
+            ops.device.launch(
+                ElementwiseMapKernel(x_gm, y_gm, fn, vbd, label=label),
+                label=label,
+            )
+            values = y_gm.to_numpy()
+        finally:
+            ops.device.memory.release(mark)
+        return (values,)
+
+
+@register_op
+class SplitOp(OpNode):
+    """Stable split (SplitInd): true-flagged values first, then false,
+    both in submission order, plus the original indices."""
+
+    kind = "split"
+    num_inputs = 2
+    output_names = ("values", "indices")
+    param_defaults = {"s": 128}
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        x, flags = specs
+        if x.dtype not in _SORT_DTYPES:
+            raise ConfigError(
+                f"split takes {_SORT_DTYPES} values, got {x.dtype!r}"
+            )
+        if flags.dtype != "int8":
+            raise ConfigError(
+                f"split flags must be int8, got {flags.dtype!r}"
+            )
+        if (
+            x.shape is not None
+            and flags.shape is not None
+            and x.shape != flags.shape
+        ):
+            raise ConfigError(
+                f"split values/flags shapes differ: {x.shape} vs "
+                f"{flags.shape}"
+            )
+        return (TensorSpec(x.dtype, x.shape), TensorSpec("int32", x.shape))
+
+    @classmethod
+    def oracle(cls, inputs, params):
+        values, order = stable_split(inputs[0], inputs[1])
+        return (values, order.astype(np.int32))
+
+    @classmethod
+    def validation_inputs(cls, specs, params):
+        rng = _rng(specs, 3)
+        n = specs[0].n
+        dt = np_dtype_of(specs[0].dtype)
+        lo, hi = (-3, 4) if dt != np.dtype(np.uint8) else (0, 7)
+        x = rng.integers(lo, hi, n).astype(dt)
+        flags = (rng.random(n) < 0.5).astype(np.int8)
+        return [x, flags]
+
+    @classmethod
+    def device_run(cls, ops, inputs, params):
+        res = ops.split(inputs[0], inputs[1], s=params["s"])
+        return (res.values, res.indices)
+
+
+@register_op
+class CompressOp(OpNode):
+    """Masked select: masked values in original order (output length is
+    data-dependent — its spec carries no shape)."""
+
+    kind = "compress"
+    num_inputs = 2
+    output_names = ("values",)
+    param_defaults = {"s": 128}
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        x, mask = specs
+        if x.dtype not in _SORT_DTYPES:
+            raise ConfigError(
+                f"compress takes {_SORT_DTYPES} values, got {x.dtype!r}"
+            )
+        if mask.dtype != "int8":
+            raise ConfigError(
+                f"compress mask must be int8, got {mask.dtype!r}"
+            )
+        if (
+            x.shape is not None
+            and mask.shape is not None
+            and x.shape != mask.shape
+        ):
+            raise ConfigError(
+                f"compress values/mask shapes differ: {x.shape} vs "
+                f"{mask.shape}"
+            )
+        return (TensorSpec(x.dtype, None),)
+
+    @classmethod
+    def oracle(cls, inputs, params):
+        return (compress_oracle(inputs[0], inputs[1]),)
+
+    @classmethod
+    def validation_inputs(cls, specs, params):
+        rng = _rng(specs, 4)
+        n = specs[0].n
+        dt = np_dtype_of(specs[0].dtype)
+        lo, hi = (-3, 4) if dt != np.dtype(np.uint8) else (0, 7)
+        x = rng.integers(lo, hi, n).astype(dt)
+        mask = (rng.random(n) < 0.5).astype(np.int8)
+        return [x, mask]
+
+    @classmethod
+    def device_run(cls, ops, inputs, params):
+        res = ops.compress(inputs[0], inputs[1], s=params["s"])
+        return (res.values,)
+
+
+@register_op
+class RadixSortOp(OpNode):
+    """Stable LSB radix sort returning (values, indices), the
+    ``torch.sort`` contract.  Ties keep original order (both the device's
+    stable splits and the oracle's stable argsort guarantee it)."""
+
+    kind = "radix_sort"
+    num_inputs = 1
+    output_names = ("values", "indices")
+    param_defaults = {"s": 128, "descending": False}
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        (x,) = specs
+        if x.dtype not in _SORT_DTYPES:
+            raise ConfigError(
+                f"radix_sort takes {_SORT_DTYPES} keys, got {x.dtype!r}"
+            )
+        return (TensorSpec(x.dtype, x.shape), TensorSpec("int32", x.shape))
+
+    @classmethod
+    def oracle(cls, inputs, params):
+        x = inputs[0]
+        order = _stable_order(x, descending=params["descending"])
+        return (x[order], order.astype(np.int32))
+
+    @classmethod
+    def validation_inputs(cls, specs, params):
+        rng = _rng(specs, 5)
+        n = specs[0].n
+        dt = np_dtype_of(specs[0].dtype)
+        if dt == np.dtype(np.float16):
+            # strictly positive integers: exact, no signed-zero hazard;
+            # duplicates exercise the stable-tie contract
+            return [(1 + rng.integers(0, 97, n)).astype(np.float16)]
+        lo, hi = (0, 97) if dt.kind == "u" else (-48, 49)
+        return [rng.integers(lo, hi, n).astype(dt)]
+
+    @classmethod
+    def device_run(cls, ops, inputs, params):
+        res = ops.radix_sort(
+            inputs[0], s=params["s"], descending=params["descending"]
+        )
+        return (res.values, res.indices)
+
+
+_TOPK_METHODS = ("baseline", "quickselect", "radix")
+
+
+@register_op
+class TopKOp(OpNode):
+    """Top-k selection (descending values + original indices).
+
+    ``method`` picks the device lowering: the streaming ``baseline``
+    kernel (single launch, data-independent trace — the default),
+    the paper's ``quickselect`` on SplitInd, or the RadiK-style ``radix``
+    counting selection.  Quickselect/radix traces depend on the data, so
+    their captured timing is a steady-state approximation
+    (:attr:`data_dependent_trace`)."""
+
+    kind = "topk"
+    num_inputs = 1
+    output_names = ("values", "indices")
+    param_defaults = {"k": Ellipsis, "s": 128, "method": "baseline"}
+    data_dependent_trace = True
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        (x,) = specs
+        if x.dtype != "fp16":
+            raise ConfigError(f"topk takes fp16 values, got {x.dtype!r}")
+        k = params["k"]
+        if not isinstance(k, int) or k < 1:
+            raise ConfigError(f"topk k must be a positive int, got {k!r}")
+        if x.n is not None and k > x.n:
+            raise ConfigError(f"topk k={k} exceeds input length {x.n}")
+        if params["method"] not in _TOPK_METHODS:
+            raise ConfigError(
+                f"unknown topk method {params['method']!r}; "
+                f"known: {_TOPK_METHODS}"
+            )
+        return (TensorSpec("fp16", (k,)), TensorSpec("int32", (k,)))
+
+    @classmethod
+    def oracle(cls, inputs, params):
+        x = inputs[0]
+        order = _stable_order(x, descending=True)[: params["k"]]
+        return (x[order], order.astype(np.int32))
+
+    @classmethod
+    def validation_inputs(cls, specs, params):
+        # distinct values: the baseline kernel's merge does not promise
+        # the oracle's lowest-index-first tie order
+        return [_distinct_fp16(specs[0].n, _rng(specs, 6))]
+
+    @classmethod
+    def device_run(cls, ops, inputs, params):
+        method = params["method"]
+        if method == "baseline":
+            res = ops.topk_baseline(inputs[0], params["k"])
+        elif method == "quickselect":
+            res = ops.topk(inputs[0], params["k"], s=params["s"])
+        else:
+            res = ops.topk_radix(inputs[0], params["k"], s=params["s"])
+        return (res.values, res.indices)
+
+
+@register_op
+class TopPSampleOp(OpNode):
+    """Llama3 nucleus sampling: radix-sort descending, MCScan cumsum, two
+    predicate-count passes (17 chained scans per sample on the cube
+    backend) — returns the sampled token id looked up in ``ids``.
+
+    ``p`` is structural (the nucleus cut); ``theta`` is the runtime draw
+    in [0, 1) — neither changes the trace structure, so one captured
+    program serves every (p, theta).  The oracle mirrors the device
+    pipeline expression for expression (fp32 cumsum of the descending
+    stable sort, the same scalar comparisons), so on exactness-conditioned
+    probabilities the two are bit-identical."""
+
+    kind = "top_p_sample"
+    num_inputs = 2
+    output_names = ("token",)
+    param_defaults = {"p": Ellipsis, "theta": 0.5, "s": 128}
+
+    @classmethod
+    def trace_params(cls):
+        return ("s",)
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        probs, ids = specs
+        if probs.dtype != "fp16":
+            raise ConfigError(
+                f"top_p_sample takes fp16 probabilities, got {probs.dtype!r}"
+            )
+        if ids.dtype != "int32":
+            raise ConfigError(
+                f"top_p_sample ids must be int32, got {ids.dtype!r}"
+            )
+        if (
+            probs.shape is not None
+            and ids.shape is not None
+            and probs.shape != ids.shape
+        ):
+            raise ConfigError(
+                f"top_p_sample probs/ids shapes differ: {probs.shape} vs "
+                f"{ids.shape}"
+            )
+        p = params["p"]
+        if not 0.0 < p <= 1.0:
+            raise ConfigError(f"top_p_sample p must be in (0, 1], got {p!r}")
+        theta = params["theta"]
+        if not 0.0 <= theta < 1.0:
+            raise ConfigError(
+                f"top_p_sample theta must be in [0, 1), got {theta!r}"
+            )
+        return (TensorSpec("int64", (1,)),)
+
+    @classmethod
+    def oracle(cls, inputs, params):
+        probs, ids = inputs
+        n = probs.size
+        order = _stable_order(probs, descending=True)
+        cum = np.cumsum(probs[order], dtype=np.float32)
+        total = float(cum[-1])
+        if total <= 0:
+            raise ConfigError("top_p_sample probabilities sum to zero")
+        k_nucleus = min(1 + int(np.count_nonzero(cum <= params["p"] * total)), n)
+        mass = float(cum[k_nucleus - 1])
+        cut = params["theta"] * mass
+        pos = min(int(np.count_nonzero(cum < cut)), k_nucleus - 1)
+        token = ids[order[pos]]
+        return (np.asarray([token], dtype=np.int64),)
+
+    @classmethod
+    def validation_inputs(cls, specs, params):
+        rng = _rng(specs, 7)
+        n = specs[0].n
+        # strictly positive integer-valued fp16: the descending sort has
+        # no signed-zero hazard and the fp32 cumsum is exact (sum < 2^24)
+        probs = (1 + rng.integers(0, 97, n)).astype(np.float16)
+        ids = np.arange(n, dtype=np.int32)
+        return [probs, ids]
+
+    @classmethod
+    def device_run(cls, ops, inputs, params):
+        from .interp import top_p_device_sample
+
+        token = top_p_device_sample(
+            ops,
+            inputs[0],
+            inputs[1],
+            p=params["p"],
+            theta=params["theta"],
+            s=params["s"],
+        )
+        return (token,)

@@ -1,0 +1,194 @@
+"""Graph serving types + canned graphs.
+
+:class:`GraphRequest` duck-types :class:`~repro.serve.batcher.ScanRequest`
+just enough for the shared :class:`~repro.serve.batcher.RequestBatcher`
+queue (``req_id``/``t_submit`` plus the ``graph_key`` marker the drain
+branches on); :class:`GraphKey` is the coalescing key — the graph's
+lowered-program signature — shaped like a
+:class:`~repro.serve.plan.PlanKey` with ``batch=None`` so graph groups
+pass through the batcher whole.  :class:`GraphTicket` extends
+:class:`~repro.serve.service.ScanTicket`: ``values`` holds the tuple of
+output arrays in ``graph.outputs`` order (oracle numerics, resolved by
+the same deferred-executor machinery as scan numerics).
+
+The canned graphs are the repo's two first-class graph workloads:
+:func:`llm_sample` (top-k → top-p nucleus sampling, the
+``examples/llm_sampling.py`` pipeline as a served graph) and
+:func:`sort_graph` (full radix sort, the ``torch.sort`` contract).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..serve.service import ScanTicket
+from .ir import Graph
+
+__all__ = [
+    "GraphKey",
+    "GraphRequest",
+    "GraphTicket",
+    "llm_sample",
+    "sort_graph",
+    "scan_graph",
+    "oracle_outputs",
+    "graph_oracle_job",
+]
+
+
+@dataclass(frozen=True)
+class GraphKey:
+    """Batcher coalescing key for graph requests (hashable; equal keys =
+    same lowered programs).  Field layout mirrors ``PlanKey`` where the
+    shared serving code peeks (``batch``/``padded``/``s``)."""
+
+    graph: str
+    #: Graph.signature() — per-node (kind, shape-class) + output wiring
+    signature: tuple
+    #: total input elements, the router/LPT cost proxy (per request)
+    padded: int
+    #: None keeps graph groups on the batcher's pass-through-whole path
+    batch: "None" = None
+    s: int = 0
+    exclusive: bool = False
+    algorithm: str = "graph"
+    dtype: str = ""
+
+
+@dataclass
+class GraphRequest:
+    """One queued graph request (internal to the service)."""
+
+    req_id: int
+    graph: Graph
+    #: input edge name -> bound array (validated by Graph.bind)
+    inputs: "dict[str, np.ndarray]"
+    #: node name -> runtime parameter overrides (e.g. sampling theta)
+    params: "dict | None"
+    graph_key: GraphKey
+    #: host clock (perf_counter) at submit, for per-request latency
+    t_submit: float = field(default_factory=time.perf_counter)
+
+    @property
+    def n(self) -> int:
+        return sum(v.size for v in self.inputs.values())
+
+
+@dataclass
+class GraphTicket(ScanTicket):
+    """Handle for one submitted graph request; ``values`` is the tuple of
+    output arrays in ``graph.outputs`` order."""
+
+    #: graph name (the ScanTicket ``algorithm`` field reads "graph")
+    graph: str = ""
+    #: device launches replayed to serve the request
+    launches: int = 0
+    #: operator nodes in the served graph
+    nodes: int = 0
+
+    def result(self) -> "tuple[np.ndarray, ...]":
+        if not self.done:
+            raise RuntimeError(
+                f"graph request {self.req_id} is still queued; call "
+                f"flush() first"
+            )
+        return self.values
+
+
+# -- canned graphs -----------------------------------------------------------
+
+
+def llm_sample(
+    vocab: int,
+    *,
+    k: int = 32,
+    p: float = 0.9,
+    theta: float = 0.5,
+    method: str = "baseline",
+    s: int = 128,
+) -> Graph:
+    """Top-k → top-p nucleus sampling over a ``vocab``-sized fp16
+    probability row: ``topk`` narrows to the k largest, ``top_p_sample``
+    sorts/cumsums the survivors and samples at ``theta`` — the
+    ``examples/llm_sampling.py`` pipeline as one served graph.  Outputs:
+    the sampled token id (int64), plus the top-k values/ids."""
+    if k > vocab:
+        raise ConfigError(f"llm_sample k={k} exceeds vocab {vocab}")
+    g = Graph(name="llm_sample")
+    probs = g.add_input("probs", "fp16", (vocab,))
+    tk_v, tk_i = g.add_node(
+        "topk", "topk", [probs], {"k": k, "method": method, "s": s}
+    )
+    (token,) = g.add_node(
+        "sample",
+        "top_p_sample",
+        [tk_v, tk_i],
+        {"p": p, "theta": theta, "s": s},
+    )
+    g.set_outputs([token, tk_v, tk_i])
+    g.validate()
+    return g
+
+
+def sort_graph(
+    n: int, *, dtype: str = "fp16", descending: bool = False, s: int = 128
+) -> Graph:
+    """Full stable sort of one column — the ``torch.sort`` contract
+    (values + original indices) as a one-node graph."""
+    g = Graph(name="sort")
+    x = g.add_input("x", dtype, (n,))
+    vals, idx = g.add_node(
+        "rsort", "radix_sort", [x], {"descending": descending, "s": s}
+    )
+    g.set_outputs([vals, idx])
+    g.validate()
+    return g
+
+
+def scan_graph(
+    n: int,
+    *,
+    dtype: str = "fp16",
+    exclusive: bool = False,
+    algorithm: "str | None" = None,
+    s: "int | None" = None,
+) -> Graph:
+    """A raw prefix sum as a one-node graph (TuneStore-resolved when
+    ``algorithm`` is None) — lets graph and scan traffic mix in one
+    service queue."""
+    g = Graph(name="scan")
+    x = g.add_input("x", dtype, (n,))
+    (y,) = g.add_node(
+        "scan",
+        "scan",
+        [x],
+        {"exclusive": exclusive, "algorithm": algorithm, "s": s},
+    )
+    g.set_outputs([y])
+    g.validate()
+    return g
+
+
+# -- numerics ----------------------------------------------------------------
+
+
+def oracle_outputs(
+    graph: Graph, inputs, params: "dict | None" = None
+) -> "tuple[np.ndarray, ...]":
+    """The NumPy oracle a served graph request must be bit-identical to."""
+    return graph.run_oracle(inputs, params)
+
+
+def graph_oracle_job(
+    graph: Graph, inputs: "dict[str, np.ndarray]", params: "dict | None"
+) -> "tuple[list, float]":
+    """Deferred-executor job shape for graph numerics: returns
+    ``([outputs], seconds)`` so ``ScanService.resolve_deferred`` can
+    treat a graph request as a one-row numerics chunk."""
+    t0 = time.perf_counter()
+    outputs = graph.run_oracle(inputs, params)
+    return [outputs], time.perf_counter() - t0

@@ -22,6 +22,7 @@ then replays the op DAG to produce the timeline.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..errors import KernelError, SchedulerError
@@ -343,6 +344,22 @@ class AscendDevice:
         self._trace_engines = self.engines + [
             EngineInfo(len(self.engines), "dev", 0, "sync")
         ]
+        #: when a list, every successful replay appends its TracedKernel —
+        #: the graph runtime's capture seam (see :meth:`capture_launches`)
+        self._capture: "list[TracedKernel] | None" = None
+
+    @contextmanager
+    def capture_launches(self):
+        """Record every :class:`TracedKernel` replayed while the context is
+        active (``launch`` goes through ``replay``, so traced-then-launched
+        kernels are captured too).  The graph runtime
+        (:mod:`repro.graph.interp`) lowers an operator by running it once
+        under this seam and keeping the captured kernels for replay."""
+        prev, self._capture = self._capture, []
+        try:
+            yield self._capture
+        finally:
+            self._capture = prev
 
     def _add_engine(self, core_kind: str, core_index: int, engine_kind: str) -> None:
         eid = len(self.engines)
@@ -473,6 +490,8 @@ class AscendDevice:
         )
         if self.fault_plan is not None:
             trace.stretch_ns = self.fault_plan.stretch_ns(trace)
+        if self._capture is not None:
+            self._capture.append(traced)
         return trace
 
     def _timeline_for(self, traced: TracedKernel, engine: str) -> Timeline:

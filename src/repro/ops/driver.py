@@ -236,16 +236,16 @@ class AscendOps:
         try:
             traces: list = []
             key_dt = as_dtype("uint16") if dt.itemsize == 2 else as_dtype("uint8")
+            signed = not is_float and np.issubdtype(
+                dt.np_dtype, np.signedinteger
+            )
             if is_float:
                 pad = _NEG_INF if descending else _POS_INF
                 x_gm = self._alloc_padded("rs_x", x, ell, dt, pad_value=pad)
             else:
-                if descending:
-                    x_gm = self._alloc_padded("rs_x", x, ell, dt, pad_value=0)
-                else:
-                    x_gm = self._alloc_padded(
-                        "rs_x", x, ell, dt, pad_value=np.iinfo(dt.np_dtype).max
-                    )
+                info = np.iinfo(dt.np_dtype)
+                pad = (info.min if signed else 0) if descending else info.max
+                x_gm = self._alloc_padded("rs_x", x, ell, dt, pad_value=pad)
             padded = x_gm.num_elements
             vbd = self._vec_block_dim(padded)
             bd = self._mix_block_dim(padded // ell)
@@ -282,26 +282,23 @@ class AscendOps:
                         EncodeFp16Kernel(work, keys[0], vbd), label="encode fp16"
                     )
                 )
-            elif descending:
-                key_np = key_dt.np_dtype
-                traces.append(
-                    self.device.launch(
-                        ElementwiseMapKernel(
-                            work, keys[0], lambda v: ~v.astype(key_np), vbd,
-                            label="invert keys",
-                        ),
-                        label="invert keys",
-                    )
-                )
             else:
+                # order-preserving integer encode: signed keys flip the
+                # sign bit (two's-complement -> biased unsigned), then
+                # descending inverts the whole key
                 key_np = key_dt.np_dtype
+                bias = key_np.type((1 << (bits - 1)) if signed else 0)
+                enc = (
+                    (lambda v: ~(v.astype(key_np) ^ bias))
+                    if descending
+                    else (lambda v: v.astype(key_np) ^ bias)
+                )
                 traces.append(
                     self.device.launch(
                         ElementwiseMapKernel(
-                            work, keys[0], lambda v: v.astype(key_np), vbd,
-                            label="cast keys",
+                            work, keys[0], enc, vbd, label="encode keys"
                         ),
-                        label="cast keys",
+                        label="encode keys",
                     )
                 )
 
@@ -347,10 +344,12 @@ class AscendOps:
                         )
                     )
             else:
+                key_np = key_dt.np_dtype
+                bias = key_np.type((1 << (bits - 1)) if signed else 0)
                 fn = (
-                    (lambda v: (~v).astype(dt.np_dtype))
+                    (lambda v: ((~v) ^ bias).astype(dt.np_dtype))
                     if descending
-                    else (lambda v: v.astype(dt.np_dtype))
+                    else (lambda v: (v ^ bias).astype(dt.np_dtype))
                 )
                 traces.append(
                     self.device.launch(

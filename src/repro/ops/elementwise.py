@@ -55,22 +55,27 @@ class ElementwiseMapKernel(Kernel):
 
     def run(self, ctx) -> None:
         n = self.x.num_elements
-        n_tiles = -(-n // _TILE)
-        per_block = -(-n_tiles // self.block_dim) * _TILE
+        # shrink the tile for wide lanes so two double-buffered queues
+        # still fit the 192 KB UB (4-byte dtypes would need 256 KB at
+        # the full tile)
+        itemsize = max(self.x.dtype.itemsize, self.y.dtype.itemsize)
+        tile = min(_TILE, _TILE * 2 // itemsize)
+        n_tiles = -(-n // tile)
+        per_block = -(-n_tiles // self.block_dim) * tile
         start = ctx.block_idx * per_block
         end = min(start + per_block, n)
         if start >= end:
             return
         pipe = ctx.make_pipe(ctx.vec_core(0))
         q_in = pipe.init_buffer(
-            buffer=BufferKind.UB, depth=2, slot_bytes=_TILE * self.x.dtype.itemsize
+            buffer=BufferKind.UB, depth=2, slot_bytes=tile * self.x.dtype.itemsize
         )
         q_out = pipe.init_buffer(
-            buffer=BufferKind.UB, depth=2, slot_bytes=_TILE * self.y.dtype.itemsize
+            buffer=BufferKind.UB, depth=2, slot_bytes=tile * self.y.dtype.itemsize
         )
         off = start
         while off < end:
-            ln = min(_TILE, end - off)
+            ln = min(tile, end - off)
             t = q_in.alloc_tensor(self.x.dtype, ln)
             I.data_copy(ctx, t, self.x.slice(off, ln), label=f"{self.label} in")
             out = q_out.alloc_tensor(self.y.dtype, ln)

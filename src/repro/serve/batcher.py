@@ -85,6 +85,9 @@ class LaunchGroup:
     batched: bool = False
     #: bucket row capacity of the batched launch (0 for fallbacks)
     bucket: int = 0
+    #: True when the requests are operator-graph requests (replayed
+    #: node-by-node by ``ScanService._serve_graph``, one replay each)
+    graph: bool = False
 
     @property
     def padded_elements(self) -> int:
@@ -161,6 +164,19 @@ class RequestBatcher:
         by_shape: dict[PlanKey, LaunchGroup] = {}
         order: list[LaunchGroup] = []
         for req in pending:
+            graph_key = getattr(req, "graph_key", None)
+            if graph_key is not None:
+                # graph requests group by lowered-program signature; the
+                # key's batch is None, so the group passes through whole
+                # below (each request replays its own captured programs)
+                group = by_shape.get(graph_key)
+                if group is None:
+                    group = by_shape[graph_key] = LaunchGroup(
+                        key=graph_key, graph=True
+                    )
+                    order.append(group)
+                group.requests.append(req)
+                continue
             if self._batchable(req):
                 key = self.cache.key_batched(
                     req.algorithm, 1, req.n, req.plan_dtype, s=req.s

@@ -148,6 +148,9 @@ class ScanService:
         self.stats = ServiceStats()
         self._tickets: dict[int, ScanTicket] = {}
         self._next_id = 0
+        #: lazily-built operator-graph runner (shared across a pool's
+        #: members by the pool front end); see repro.graph.interp
+        self.graph_runner = None
 
     # -- submission ---------------------------------------------------------
 
@@ -272,6 +275,74 @@ class ScanService:
         self.flush()
         return ticket
 
+    # -- graph submission ----------------------------------------------------
+
+    def _graph_runner(self):
+        """The service's operator-graph runner, built on first use (the
+        import is deferred: repro.graph imports from repro.serve)."""
+        if self.graph_runner is None:
+            from ..graph.interp import GraphRunner
+
+            self.graph_runner = GraphRunner(
+                self.ctx.device.config, tune_store=self.tune_store
+            )
+        return self.graph_runner
+
+    def _prepare_graph(
+        self, graph, inputs, *, params=None, req_id: "int | None" = None
+    ):
+        """Validate one graph submission and materialise its request +
+        ticket without enqueueing (the pool front end's routing seam,
+        mirroring :meth:`_prepare`)."""
+        from ..graph.service import GraphKey, GraphRequest, GraphTicket
+
+        t0 = time.perf_counter()
+        bound = graph.bind(inputs)
+        signature = graph.signature()
+        self.stats.add_phase("trace", time.perf_counter() - t0)
+        if req_id is None:
+            req_id = self._next_id
+            self._next_id += 1
+        total = sum(v.size for v in bound.values())
+        key = GraphKey(graph=graph.name, signature=signature, padded=total)
+        req = GraphRequest(
+            req_id=req_id,
+            graph=graph,
+            inputs=bound,
+            params=dict(params) if params else None,
+            graph_key=key,
+            t_submit=time.perf_counter(),
+        )
+        first = next(iter(bound.values()))
+        ticket = GraphTicket(
+            req_id=req_id,
+            n=total,
+            algorithm="graph",
+            dtype=str(first.dtype),
+            s=0,
+            exclusive=False,
+            graph=graph.name,
+            nodes=len(graph.nodes),
+        )
+        return req, ticket
+
+    def submit_graph(self, graph, inputs, *, params=None):
+        """Enqueue one operator-graph request; returns an unfilled
+        :class:`~repro.graph.service.GraphTicket`.
+
+        ``inputs`` is a dict (or declaration-order sequence) of input
+        arrays; ``params`` optionally overrides runtime node parameters
+        per node name (e.g. ``{"sample": {"theta": 0.73}}``).  The request
+        rides the same queue, flush, retry and failover machinery as scan
+        requests; its numerics are the graph's NumPy oracle, so results
+        are bit-identical to :func:`repro.graph.oracle_outputs` by
+        construction, while device time is accounted by replaying the
+        captured per-node programs.
+        """
+        req, ticket = self._prepare_graph(graph, inputs, params=params)
+        self.enqueue(req, ticket)
+        return ticket
+
     @property
     def pending(self) -> int:
         return len(self.batcher)
@@ -293,7 +364,9 @@ class ScanService:
         try:
             for gi, group in enumerate(groups):
                 try:
-                    if group.batched:
+                    if group.graph:
+                        completed.extend(self._serve_graph(group))
+                    elif group.batched:
                         completed.extend(self._serve_batched(group))
                     else:
                         completed.extend(self._serve_singles(group))
@@ -338,10 +411,11 @@ class ScanService:
         for req in requests:
             self.batcher.add(req)
 
-    def _replay_plan(self, plan: ScanPlan):
-        """Replay ``plan``'s simulated timeline under the retry policy.
+    def _replay_with_retry(self, replay_fn):
+        """Run one launch attempt (``replay_fn`` returning its traces as a
+        list) under the retry policy.
 
-        Returns ``(trace, retries, faults, backoff_ns)`` on success.
+        Returns ``(traces, retries, faults, backoff_ns)`` on success.
         Transient faults are retried up to ``retry.max_attempts`` total
         attempts, each retry charging exponential backoff to simulated
         device time.  A permanent fault, or exhausting the attempts,
@@ -351,7 +425,12 @@ class ScanService:
 
         This is the schedule-bearing half of a launch (fault draws,
         slowdown EWMA, simulated time) and always runs on the calling
-        thread; the numerics half is deferred separately.
+        thread; the numerics half is deferred separately.  Scan launches
+        replay one plan timeline per attempt; graph requests call this
+        once per captured kernel, so a transient fault relaunches only
+        the kernel it hit, not the whole multi-node replay (the numerics
+        are oracle-computed, so a replayed prefix has no side effects to
+        undo).
         """
         t0 = time.perf_counter()
         try:
@@ -363,7 +442,7 @@ class ScanService:
             while True:
                 attempt += 1
                 try:
-                    trace = plan.replay_timing()
+                    traces = replay_fn()
                 except DeviceFault as fault:
                     self.stats.record_fault()
                     faults += 1
@@ -372,15 +451,24 @@ class ScanService:
                         raise
                     backoff_ns += policy.backoff_for(attempt - 1, default_backoff)
                     continue
-                nominal = trace.total_ns - trace.stretch_ns
+                total_ns = sum(t.total_ns for t in traces)
+                nominal = total_ns - sum(t.stretch_ns for t in traces)
                 if nominal > 0:
-                    observed = (trace.total_ns + backoff_ns) / nominal
+                    observed = (total_ns + backoff_ns) / nominal
                     self.observed_slowdown += _SLOWDOWN_ALPHA * (
                         observed - self.observed_slowdown
                     )
-                return trace, attempt - 1, faults, backoff_ns
+                return traces, attempt - 1, faults, backoff_ns
         finally:
             self.stats.add_phase("timeline", time.perf_counter() - t0)
+
+    def _replay_plan(self, plan: ScanPlan):
+        """Replay ``plan``'s simulated timeline under the retry policy;
+        returns ``(trace, retries, faults, backoff_ns)``."""
+        traces, retries, faults, backoff_ns = self._replay_with_retry(
+            lambda: [plan.replay_timing()]
+        )
+        return traces[0], retries, faults, backoff_ns
 
     def _get_plan(self, group: LaunchGroup) -> "tuple[ScanPlan, bool]":
         key = group.key
@@ -544,6 +632,106 @@ class ScanService:
             ticket.retries += retries
             ticket.faults += faults
             self._defer_row(entries, idx, ticket, req)
+            tickets.append(ticket)
+        return tickets
+
+    def _serve_graph(self, group: LaunchGroup) -> "list[ScanTicket]":
+        """Serve a group of same-signature graph requests: lower once per
+        shape class (cached), replay every node's captured programs per
+        request under the retry policy, defer oracle numerics, and record
+        per-op device/host breakdowns.
+
+        Requests in a graph group share lowered programs but replay
+        independently — each gets its own fault draws and simulated time,
+        exactly like the 1-D fallback path.  Retry granularity is one
+        captured kernel (the unit of a device launch): a multi-node graph
+        replays tens of kernels per request, and all-or-nothing retry
+        would make the request's success probability vanish under
+        per-launch fault rates."""
+        from ..graph.service import graph_oracle_job
+
+        runner = self._graph_runner()
+        tickets = []
+        for idx, req in enumerate(group.requests):
+            t0 = time.perf_counter()
+            entries, built = runner.lower(req.graph)
+            if built:
+                self.stats.add_phase("trace", time.perf_counter() - t0)
+            node_spans: list = []
+            traces: list = []
+            retries = faults = 0
+            backoff_ns = 0.0
+            hits_before = sum(
+                tk.timeline_hits for _, low in entries for tk in low.traced
+            )
+            try:
+                for node, low in entries:
+                    t_node = time.perf_counter()
+                    span = []
+                    for tk in low.traced:
+                        ktr, kretries, kfaults, kbackoff = (
+                            self._replay_with_retry(
+                                lambda tk=tk, node=node: [
+                                    self.ctx.device.replay(
+                                        tk,
+                                        label=(
+                                            f"graph {req.graph.name}"
+                                            f".{node.name}"
+                                        ),
+                                    )
+                                ]
+                            )
+                        )
+                        span.append(ktr[0])
+                        retries += kretries
+                        faults += kfaults
+                        backoff_ns += kbackoff
+                    low.replays += 1
+                    node_spans.append(
+                        (low, span, time.perf_counter() - t_node)
+                    )
+                    traces.extend(span)
+            except Exception:
+                # this request and everything after it go back on the queue
+                self._requeue(group.requests[idx:])
+                raise
+            hits_after = sum(
+                tk.timeline_hits for _, low in entries for tk in low.traced
+            )
+            for low, span, node_host_s in node_spans:
+                self.stats.record_op(
+                    low.kind, sum(t.total_ns for t in span), host_s=node_host_s
+                )
+            served_ns = sum(t.total_ns for t in traces) + backoff_ns
+            io = sum(v.nbytes for v in req.inputs.values())
+            self.stats.record_launch(
+                LaunchRecord(
+                    kind="graph",
+                    device_ns=served_ns,
+                    n_elements=req.n,
+                    io_bytes=io,
+                    requests=1,
+                    plan_hit=not built,
+                    timeline_hit=hits_after > hits_before,
+                    tuned=any(low.tuned for _, low in entries),
+                    retries=retries,
+                    faults=faults,
+                    backoff_ns=backoff_ns,
+                )
+            )
+            # pop only after the launch succeeded (see _serve_singles)
+            ticket = self._tickets.pop(req.req_id)
+            ticket.device_ns = served_ns
+            ticket.plan_hit = not built
+            ticket.tuned = any(low.tuned for _, low in entries)
+            ticket.retries += retries
+            ticket.faults += faults
+            ticket.launches = len(traces)
+            ticket.batch_size = len(group.requests)
+            job = self.executor.submit(
+                graph_oracle_job, req.graph, req.inputs, req.params
+            )
+            self._deferred.append((job, [(0, ticket, req)]))
             tickets.append(ticket)
         return tickets
 

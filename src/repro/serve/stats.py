@@ -61,6 +61,31 @@ class ServiceStats:
     #: which overlap other phases — the breakdown attributes work, it is
     #: not a partition of wall-clock under ``parallel=``.
     phase_host_s: "dict[str, float]" = field(default_factory=dict)
+    #: op kind -> (replayed launches, summed simulated device ns) for
+    #: graph traffic — the per-op dimension of the device-time breakdown
+    op_device_ns: "dict[str, tuple[int, float]]" = field(default_factory=dict)
+
+    def record_op(self, kind: str, device_ns: float, *, host_s: float = 0.0) -> None:
+        """Charge one graph node's replay to its op kind: simulated device
+        ns here, host seconds as an ``op:<kind>`` phase.  The op phases
+        are a breakdown *dimension* of the ``timeline`` phase (the node
+        replays happen inside it), not additive with the canonical
+        phases."""
+        count, ns = self.op_device_ns.get(kind, (0, 0.0))
+        self.op_device_ns[kind] = (count + 1, ns + device_ns)
+        if host_s:
+            self.add_phase(f"op:{kind}", host_s)
+
+    def op_line(self) -> "str | None":
+        """One formatted per-op device-time line, or None without graph
+        traffic."""
+        if not self.op_device_ns:
+            return None
+        parts = [
+            f"{kind} {count}x {ns / 1e3:.1f} us"
+            for kind, (count, ns) in sorted(self.op_device_ns.items())
+        ]
+        return "op breakdown    : " + ", ".join(parts)
 
     def record_request(self, host_s: float) -> None:
         self.host_latencies_s.append(host_s)
@@ -209,6 +234,9 @@ class ServiceStats:
         phases = self.phase_line()
         if phases is not None:
             lines.append(phases)
+        ops = self.op_line()
+        if ops is not None:
+            lines.append(ops)
         if self.fault_events:
             lines.append(
                 f"resilience      : {self.fault_events} fault events, "

@@ -151,6 +151,29 @@ class PoolScanService:
         self.batcher.add(req)
         return ticket
 
+    def submit_graph(self, graph, inputs, *, params=None) -> ScanTicket:
+        """Enqueue one operator-graph request on the pool (see
+        :meth:`ScanService.submit_graph`); the serving member is chosen at
+        ``flush`` time.
+
+        All members share one :class:`~repro.graph.interp.GraphRunner`:
+        lowered programs are captured on its build device and replay on
+        any member (timelines are memoized per config identity), so a
+        graph lowered once serves the whole pool — exactly like the
+        shared tuned-plan store."""
+        req_id = self._next_id
+        self._next_id += 1
+        req, ticket = self.workers[0]._prepare_graph(
+            graph, inputs, params=params, req_id=req_id
+        )
+        runner = self.workers[0]._graph_runner()
+        for worker in self.workers[1:]:
+            if worker.graph_runner is None:
+                worker.graph_runner = runner
+        self._tickets[req_id] = ticket
+        self.batcher.add(req)
+        return ticket
+
     def scan(self, x: np.ndarray, **kwargs) -> ScanTicket:
         """Convenience: submit one request and flush immediately."""
         ticket = self.submit(x, **kwargs)
@@ -307,6 +330,7 @@ class PoolScanService:
             requests=leftover,
             batched=group.batched,
             bucket=group.bucket,
+            graph=group.graph,
         )
 
     def _restore(self, group: LaunchGroup, queue) -> None:
@@ -422,8 +446,29 @@ class PoolScanService:
                 for name in HOST_PHASES
                 if name in phases
             ]
+            parts += [
+                f"{name} {phases[name] * 1e3:.2f} ms"
+                for name in sorted(phases)
+                if name not in HOST_PHASES
+            ]
             lines.append("host phases     : " + ", ".join(parts))
+        ops = self.op_device_ns()
+        if ops:
+            parts = [
+                f"{kind} {count}x {ns / 1e3:.1f} us"
+                for kind, (count, ns) in sorted(ops.items())
+            ]
+            lines.append("op breakdown    : " + ", ".join(parts))
         return "\n".join(lines)
+
+    def op_device_ns(self) -> "dict[str, tuple[int, float]]":
+        """Pool-wide per-op-kind graph replay accounting (launches, ns)."""
+        totals: "dict[str, tuple[int, float]]" = {}
+        for worker in self.workers:
+            for kind, (count, ns) in worker.stats.op_device_ns.items():
+                c0, n0 = totals.get(kind, (0, 0.0))
+                totals[kind] = (c0 + count, n0 + ns)
+        return totals
 
     def phase_host_s(self) -> "dict[str, float]":
         """Pool-wide host-phase seconds: member phases plus routing."""

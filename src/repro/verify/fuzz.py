@@ -100,6 +100,9 @@ class WorkloadSpec:
     #: fuzzes exactly the same invariants as a serial one — any divergence
     #: the executor introduces is a failing seed.
     parallel: int = 0
+    #: mix in operator-graph requests (llm_sample top-k -> top-p) with the
+    #: raw scans, fuzzing the graph serving path's batching/failover
+    graph_mix: bool = False
 
     def __post_init__(self):
         dead = {m for m, _ in self.deaths}
@@ -222,6 +225,22 @@ WORKLOAD_MATRIX: "tuple[WorkloadSpec, ...]" = (
         transient_rate=0.20,
         deaths=((2, 4),),
         parallel=2,
+    ),
+    WorkloadSpec(
+        name="graph-llm-d1",
+        requests=6,
+        transient=(0,),
+        transient_rate=0.20,
+        graph_mix=True,
+    ),
+    WorkloadSpec(
+        name="graph-llm-d3",
+        num_devices=3,
+        requests=9,
+        flushes=3,
+        transient=(0, 2),
+        transient_rate=0.20,
+        graph_mix=True,
     ),
 )
 
@@ -392,6 +411,13 @@ def run_seed(
 
     rng = np.random.default_rng((FUZZ_SEED0, seed))
     dt = spec.np_dtype
+    graphs: dict = {}
+    if spec.graph_mix:
+        from ..graph import llm_sample
+
+        # two vocab shape classes, exercising lowered-program reuse
+        for vocab in (96, 160):
+            graphs[vocab] = llm_sample(vocab, k=8, p=0.75, s=spec.s)
     outstanding: dict = {}
     served = 0
     flush_faults = 0
@@ -418,13 +444,29 @@ def run_seed(
             n = int(rng.choice(spec.sizes))
             x = rng.integers(-2, 3, n).astype(dt)
             exclusive = spec.exclusive_mix and bool(rng.integers(0, 2))
-            if exclusive:
+            graph_pick = spec.graph_mix and bool(rng.integers(0, 2))
+            if graph_pick:
+                from ..graph import oracle_outputs
+
+                vocab = int(rng.choice((96, 160)))
+                probs = (rng.permutation(vocab) + 1).astype(np.float16)
+                theta = float(rng.integers(1, 8)) / 8.0
+                graph = graphs[vocab]
+                params = {"sample": {"theta": theta}}
+                ticket = svc.submit_graph(
+                    graph, {"probs": probs}, params=params
+                )
+                checker.expect_graph(
+                    ticket, oracle_outputs(graph, {"probs": probs}, params)
+                )
+            elif exclusive:
                 ticket = svc.submit(
                     x, algorithm="mcscan", s=spec.s, exclusive=True
                 )
+                checker.expect(ticket, x)
             else:
                 ticket = svc.submit(x, algorithm="scanu", s=spec.s)
-            checker.expect(ticket, x)
+                checker.expect(ticket, x)
             outstanding[ticket.req_id] = ticket
             submitted += 1
         flush_once()

@@ -46,6 +46,14 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class _GraphExpected:
+    """Oracle for one graph request: a tuple of output arrays (scan
+    tickets expect one array; graph tickets expect ``graph.outputs``)."""
+
+    outputs: "tuple[np.ndarray, ...]"
+
+
 def _plan_pinned_bytes(worker) -> int:
     """Allocator-side footprint of the plans the worker's cache pins.
 
@@ -122,6 +130,17 @@ class ServeInvariantChecker:
         oracle = exclusive_scan if ticket.exclusive else inclusive_scan
         self._expected[ticket.req_id] = oracle(np.asarray(x))
 
+    def expect_graph(self, ticket, outputs) -> None:
+        """Register a submitted graph request and its oracle outputs (a
+        tuple of arrays, e.g. from :func:`repro.graph.oracle_outputs`)."""
+        if ticket.req_id in self._expected:
+            self._fail(
+                "exactly_once",
+                f"req {ticket.req_id} submitted twice (ticket id reuse)",
+            )
+            return
+        self._expected[ticket.req_id] = _GraphExpected(tuple(outputs))
+
     def observe(self, completed) -> None:
         """Check one flush's completed tickets and the time axis."""
         for ticket in completed:
@@ -145,7 +164,24 @@ class ServeInvariantChecker:
                     "oracle",
                     f"req {ticket.req_id} returned by flush but not done",
                 )
-            if ticket.values is None or not np.array_equal(
+            if isinstance(expected, _GraphExpected):
+                got = ticket.values
+                ok = (
+                    got is not None
+                    and len(got) == len(expected.outputs)
+                    and all(
+                        np.array_equal(g, e)
+                        for g, e in zip(got, expected.outputs)
+                    )
+                )
+                if not ok:
+                    self._fail(
+                        "oracle",
+                        f"graph req {ticket.req_id} "
+                        f"({getattr(ticket, 'graph', '?')}) diverges from "
+                        f"its graph oracle",
+                    )
+            elif ticket.values is None or not np.array_equal(
                 ticket.values, expected
             ):
                 got = (

@@ -1,0 +1,1 @@
+"""Operator-graph runtime tests."""
