@@ -15,6 +15,11 @@ Asserts the graph runtime's serving claims (DESIGN 2.12):
 * **tuned scans flow into graphs** — a ``scan`` node with no explicit
   algorithm resolves through the TuneStore, and the tuned lowering is
   never slower than the default on the tuned shape.
+* **fusion >= 1.3x on an elementwise-heavy mix** — the same graph mix
+  (map chains feeding scans, prep-chained ``llm_sample``) executed with
+  ``fusion=aggressive`` captures one program per fused region: fewer
+  launches, less GM traffic, >= 1.3x less device time than the per-node
+  ``fusion=off`` lowering, with every output bit-identical.
 
 Results are committed to ``results/BENCH_graph.json``.
 """
@@ -27,7 +32,14 @@ from bench_util import write_bench_json
 
 from repro.core.api import ScanContext
 from repro.errors import DeviceFault
-from repro.graph import GraphRunner, llm_sample, oracle_outputs, scan_graph
+from repro.graph import (
+    Graph,
+    GraphRunner,
+    llm_sample,
+    oracle_outputs,
+    scan_graph,
+    scan_pipeline,
+)
 from repro.hw import FaultPlan
 from repro.hw.config import toy_config
 from repro.ops import AscendOps, TopPSampler
@@ -233,18 +245,100 @@ def bench_tuned_graph_scan(n: int = 4096) -> dict:
     }
 
 
+def _map_chain(n: int, fns) -> Graph:
+    g = Graph(name="map_chain")
+    edge = g.add_input("x", "fp16", (n,))
+    for i, fn in enumerate(fns):
+        (edge,) = g.add_node(f"m{i}", "elementwise", [edge], {"fn": fn})
+    g.set_outputs([edge])
+    g.validate()
+    return g
+
+
+def bench_fused_vs_unfused() -> dict:
+    """One captured program per fused region vs per-node lowering on an
+    elementwise-heavy graph mix; outputs must stay bit-identical."""
+    config = toy_config()
+    rng = np.random.default_rng(23)
+    mix = [
+        (
+            scan_pipeline(2048, pre=("abs", "double"), post=("negate",), s=S),
+            {"x": rng.integers(-2, 3, 2048).astype(np.float16)},
+        ),
+        (
+            scan_pipeline(
+                1024,
+                dtype="int8",
+                pre=("abs",),
+                post=("double", "abs"),
+                exclusive=True,
+                s=S,
+            ),
+            {"x": rng.integers(-20, 21, 1024).astype(np.int8)},
+        ),
+        (
+            scan_pipeline(
+                512, pre=("negate", "abs", "double"), post=(), s=S
+            ),
+            {"x": rng.integers(-2, 3, 512).astype(np.float16)},
+        ),
+        (
+            _map_chain(4096, ("abs", "double", "negate", "abs")),
+            {"x": rng.integers(-2, 3, 4096).astype(np.float16)},
+        ),
+    ]
+
+    modes = {}
+    outputs = {}
+    for mode in ("off", "aggressive"):
+        runner = GraphRunner(config, fusion=mode)
+        outs, device_ns, launches = [], 0, 0
+        for graph, inputs in mix:
+            res = runner.execute(graph, inputs)
+            outs.append(res.outputs)
+            device_ns += res.time_ns
+            launches += res.launches
+        stats = runner.cache.stats()
+        modes[mode] = {
+            "device_us": device_ns / 1e3,
+            "launches": launches,
+            "lowered": stats["lowered"],
+            "fused_regions": stats["fused"],
+        }
+        outputs[mode] = outs
+
+    identical = all(
+        len(a) == len(b) and all(np.array_equal(x, y) for x, y in zip(a, b))
+        for a, b in zip(outputs["off"], outputs["aggressive"])
+    )
+    return {
+        "graphs": len(mix),
+        "off": modes["off"],
+        "aggressive": modes["aggressive"],
+        "bit_identical": identical,
+        "device_speedup": (
+            modes["off"]["device_us"] / modes["aggressive"]["device_us"]
+        ),
+        "launches_saved": (
+            modes["off"]["launches"] - modes["aggressive"]["launches"]
+        ),
+    }
+
+
 def test_graph_serving(benchmark, results_dir):
     def run_all():
         return {
             "serving": bench_llm_sample_serving(),
             "chaos": bench_chaos_identity(),
             "tuned": bench_tuned_graph_scan(),
+            "fusion": bench_fused_vs_unfused(),
         }
 
     report = benchmark.pedantic(run_all, iterations=1, rounds=1)
     serving = report["serving"]
     chaos = report["chaos"]
     tuned = report["tuned"]
+    fusion = report["fusion"]
 
     lines = [
         "operator-graph serving bench",
@@ -273,6 +367,16 @@ def test_graph_serving(benchmark, results_dir):
         f"{tuned['default_us']:8.1f} us",
         f"  tuned   {tuned['tuned_algorithm']}: "
         f"{tuned['tuned_us']:8.1f} us (store-resolved)",
+        "",
+        f"fused vs unfused ({fusion['graphs']}-graph elementwise-heavy mix):",
+        f"  fusion=off        : {fusion['off']['device_us']:8.1f} us, "
+        f"{fusion['off']['launches']} launches",
+        f"  fusion=aggressive : {fusion['aggressive']['device_us']:8.1f} us, "
+        f"{fusion['aggressive']['launches']} launches "
+        f"({fusion['aggressive']['fused_regions']} fused regions)",
+        f"  device speedup    : {fusion['device_speedup']:.2f}x, "
+        f"{fusion['launches_saved']} launches saved, "
+        f"bit-identical={fusion['bit_identical']}",
     ]
     text = "\n".join(lines)
     print()
@@ -291,3 +395,7 @@ def test_graph_serving(benchmark, results_dir):
     assert sum(p["faults_absorbed"] for p in chaos["points"]) > 0
     assert tuned["graph_used_tuned"]
     assert tuned["tuned_not_slower"]
+    assert fusion["bit_identical"]
+    assert fusion["device_speedup"] >= 1.3
+    assert fusion["aggressive"]["launches"] < fusion["off"]["launches"]
+    assert fusion["aggressive"]["fused_regions"] >= 3

@@ -14,6 +14,12 @@ AscendOps operators directly, which re-traces the kernels per request —
 and the example asserts the graph-served tokens are bit-identical to the
 NumPy oracle (``repro.graph.oracle_outputs``) for every request.
 
+The last section shows the **fusion delta**: the same pipeline with a
+logit post-processing chain prepended (``prep=("abs", "double")``)
+executed per-node (``fusion="off"``) vs with the map chain collapsed
+into one captured program (``fusion="aggressive"``) — fewer launches,
+less device time, bit-identical outputs.
+
     python examples/llm_sampling.py [--vocab N] [--requests R] [--seed S]
 """
 
@@ -22,7 +28,7 @@ import time
 
 import numpy as np
 
-from repro.graph import llm_sample, oracle_outputs
+from repro.graph import GraphRunner, llm_sample, oracle_outputs
 from repro.ops import AscendOps, TopPSampler
 from repro.serve import ScanService
 
@@ -110,6 +116,37 @@ def main() -> None:
         "  -> the graph runtime lowers the pipeline once and replays the\n"
         "     memoized programs; hand-chaining re-traces every kernel for\n"
         "     every request.\n"
+    )
+
+    # ---- fusion delta: per-node vs one program per fused region ---------
+    prep_graph = llm_sample(
+        args.vocab,
+        k=args.k,
+        p=args.p,
+        theta=args.theta,
+        method="baseline",
+        prep=("abs", "double"),  # stand-in for logit post-processing
+    )
+    feed = {"probs": batch[0]}
+    runs = {
+        mode: GraphRunner(svc.ctx.config, fusion=mode).execute(
+            prep_graph, feed
+        )
+        for mode in ("off", "aggressive")
+    }
+    off, fused = runs["off"], runs["aggressive"]
+    assert all(
+        np.array_equal(a, b) for a, b in zip(off.outputs, fused.outputs)
+    ), "fused lowering diverged from the per-node lowering"
+    print(
+        "fusion delta (prep chain 'abs' -> 'double' ahead of top-k):\n"
+        f"  fusion=off        : {off.time_ns / 1e3:8.2f} us device, "
+        f"{off.launches} launches\n"
+        f"  fusion=aggressive : {fused.time_ns / 1e3:8.2f} us device, "
+        f"{fused.launches} launches "
+        f"({off.time_ns / fused.time_ns:.2f}x, bit-identical outputs)\n"
+        "  -> the prep maps collapse into one captured UB pass instead\n"
+        "     of one kernel (and one GM round-trip) per node.\n"
     )
     print(svc.stats.summary())
 

@@ -688,18 +688,26 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
-def _graph_smoke() -> int:
+def _graph_smoke(fusion: str = "conservative") -> int:
     """CI self-check for the operator-graph runtime: every registered op
     lowers with bit-exact device/oracle agreement and interprets to the
     oracle's bits, structural validation rejects broken graphs with
     ConfigError, graph-served llm_sample stays bit-identical to the
     oracle at D in {1, 2, 4} under a transient-fault mix, batched graph
-    serving beats hand-chaining >= 2x on host wall-clock, and the
-    per-op device-time breakdown shows up in the service stats."""
+    serving beats hand-chaining >= 2x on host wall-clock, the per-op
+    device-time breakdown shows up in the service stats, and the fused
+    lowering is bit-identical to per-node and not slower."""
     import time as _time
 
     from .errors import ConfigError, DeviceFault
-    from .graph import Graph, OP_REGISTRY, GraphRunner, llm_sample, oracle_outputs
+    from .graph import (
+        Graph,
+        OP_REGISTRY,
+        GraphRunner,
+        llm_sample,
+        oracle_outputs,
+        scan_pipeline,
+    )
     from .hw import FaultPlan
     from .hw.config import toy_config
     from .serve import RetryPolicy, ScanService
@@ -727,6 +735,8 @@ def _graph_smoke() -> int:
         ("scan", {"algorithm": "mcscan", "s": 16, "exclusive": True},
          [("x", "fp16", vals)]),
         ("elementwise", {"fn": "relu"}, [("x", "fp16", vals)]),
+        ("fused_elementwise", {"fns": ("abs", "double", "negate")},
+         [("x", "fp16", vals)]),
         ("split", {"s": 16},
          [("x", "fp16", vals), ("flags", "int8", flags)]),
         ("compress", {"s": 16},
@@ -739,7 +749,7 @@ def _graph_smoke() -> int:
          [("probs", "fp16", (1 + rng.integers(0, 97, n)).astype(np.float16)),
           ("ids", "int32", np.arange(n, dtype=np.int32))]),
     ]
-    runner = GraphRunner(config)
+    runner = GraphRunner(config, fusion=fusion)
     covered = set()
     exact = 0
     for kind, params, inputs in cases:
@@ -801,12 +811,19 @@ def _graph_smoke() -> int:
     graph160 = llm_sample(160, k=8, p=0.75, s=16)
     for devices in (1, 2, 4):
         if devices == 1:
-            svc = ScanService(config=config, retry=RetryPolicy(max_attempts=4))
+            svc = ScanService(
+                config=config,
+                retry=RetryPolicy(max_attempts=4),
+                graph_fusion=fusion,
+            )
             svc.ctx.device.fault_plan = FaultPlan(seed=5, transient_rate=0.2)
         else:
             pool = DevicePool(devices, config)
             svc = PoolScanService(
-                pool=pool, config=config, retry=RetryPolicy(max_attempts=4)
+                pool=pool,
+                config=config,
+                retry=RetryPolicy(max_attempts=4),
+                graph_fusion=fusion,
             )
             for m in range(devices):
                 pool.inject_faults(
@@ -846,7 +863,7 @@ def _graph_smoke() -> int:
     # 4. batched graph serving >= 2x over hand-chaining on host wall-clock
     vocab, requests = 96, 6
     graph = llm_sample(vocab, k=8, p=0.75, theta=0.4, s=16)
-    svc = ScanService(config=config)
+    svc = ScanService(config=config, graph_fusion=fusion)
     batch = [
         (rng.permutation(vocab) + 1).astype(np.float16)
         for _ in range(requests)
@@ -875,12 +892,30 @@ def _graph_smoke() -> int:
         f"{hand_s / graph_s:.1f}x on {requests} requests, same tokens",
     )
 
-    # 5. per-op device-time breakdown lands in the stats
-    text = svc.stats.summary()
+    # 5. per-op device-time breakdown lands in the stats, and the graph
+    # cache line (hits/misses/fused count) shows up in the summary
+    text = svc.summary()
     check(
         "op breakdown" in text
+        and "graph cache" in text
         and {"topk", "top_p_sample"} <= set(svc.stats.op_device_ns),
-        "summary() reports the per-op device-time breakdown",
+        "summary() reports the per-op breakdown and graph-cache stats",
+    )
+
+    # 6. fusion: the fused lowering of an elementwise-heavy pipeline is
+    # bit-identical to the per-node lowering and not slower on device time
+    mode = fusion if fusion != "off" else "aggressive"
+    pipe = scan_pipeline(512, pre=("abs", "double"), post=("negate",), s=16)
+    x = rng.integers(-2, 3, 512).astype(np.float16)
+    plain = GraphRunner(config, fusion="off").execute(pipe, {"x": x})
+    fused = GraphRunner(config, fusion=mode).execute(pipe, {"x": x})
+    check(
+        np.array_equal(plain.outputs[0], fused.outputs[0])
+        and fused.time_ns <= plain.time_ns
+        and fused.launches < plain.launches,
+        f"fusion={mode} pipeline bit-identical to fusion=off and not "
+        f"slower ({fused.time_ns / 1e3:.2f} us / {fused.launches} launches "
+        f"vs {plain.time_ns / 1e3:.2f} us / {plain.launches})",
     )
 
     if failures:
@@ -897,16 +932,21 @@ def cmd_graph(args) -> int:
     from .shard import DevicePool, PoolScanService
 
     if args.smoke:
-        return _graph_smoke()
+        return _graph_smoke(args.fusion)
     rng = np.random.default_rng(args.seed)
     pool = DevicePool(args.devices)
-    svc = PoolScanService(pool=pool, retry=RetryPolicy(max_attempts=4))
+    svc = PoolScanService(
+        pool=pool, retry=RetryPolicy(max_attempts=4), graph_fusion=args.fusion
+    )
     if args.rate:
         for m in range(args.devices):
             pool.inject_faults(
                 m, FaultPlan(seed=args.seed + m, transient_rate=args.rate)
             )
-    sampling = llm_sample(args.vocab, k=args.k, p=args.p)
+    # the prep chain gives the fusion pass a region to collapse (shown
+    # in the summary's "graph cache" line when --fusion != off)
+    prep = () if args.fusion == "off" else ("abs", "double")
+    sampling = llm_sample(args.vocab, k=args.k, p=args.p, prep=prep)
     sorting = sort_graph(args.vocab, descending=True)
     jobs = []
     for j in range(args.requests):
@@ -1131,10 +1171,15 @@ def build_parser() -> argparse.ArgumentParser:
     pg.add_argument("--rate", type=float, default=0.0,
                     help="per-launch transient fault probability")
     pg.add_argument("--seed", type=int, default=0)
+    pg.add_argument("--fusion", default="conservative",
+                    choices=("off", "conservative", "aggressive"),
+                    help="graph-fusion mode: collapse map chains (and, "
+                    "aggressively, pre->scan->post regions) into one "
+                    "captured program per region")
     pg.add_argument("--smoke", action="store_true",
                     help="CI self-check: per-op differential, validation "
                     "errors, chaos bit-identity at D in {1,2,4}, >=2x over "
-                    "hand-chaining, per-op stats")
+                    "hand-chaining, per-op stats, fused==unfused bits")
     pg.set_defaults(fn=cmd_graph)
 
     po = sub.add_parser("sort", help="radix sort vs torch.sort")

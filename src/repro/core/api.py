@@ -58,6 +58,7 @@ __all__ = [
     "BATCHED_ALGORITHMS",
     "SCAN_STRATEGIES",
     "PLAN_1D_ALGORITHMS",
+    "FOLDABLE_SCAN_ALGORITHMS",
 ]
 
 SCAN_ALGORITHMS = ("scanu", "scanul1", "mcscan", "vector")
@@ -71,6 +72,12 @@ PLAN_1D_ALGORITHMS = SCAN_ALGORITHMS + ("ssa", "rss", "lookback")
 
 #: multi-core 1-D kernels that take a block_dim and an ``r`` array
 _MULTI_CORE_1D = ("mcscan", "ssa", "rss", "lookback")
+
+#: 1-D scan kernels whose vector propagation stage can fold a fused
+#: elementwise epilogue in UB (graph-level fusion); the competitor
+#: strategies and the L1-resident variant keep their published structure,
+#: so fused epilogues fall back to a separate trailing map kernel there
+FOLDABLE_SCAN_ALGORITHMS = ("scanu", "mcscan")
 
 
 @dataclass
@@ -441,15 +448,25 @@ class ScanContext:
         s: int,
         block_dim: "int | None",
         exclusive: bool,
+        post_fns: "tuple" = (),
     ):
         """Build a 1-D cube-scan kernel (allocates the ``r`` array for the
         multi-core variants from the device's current allocation scope).
 
         ``algorithm`` covers the single-core variants, MCScan, and the
         competitor strategies (``ssa``/``rss``/``lookback``) — the latter
-        three share MCScan's signature and block_dim validation."""
+        three share MCScan's signature and block_dim validation.
+
+        ``post_fns`` folds an elementwise epilogue into the kernel's vector
+        stage (graph-level fusion); only ScanU and MCScan expose that seam,
+        so callers must pre-check :data:`FOLDABLE_SCAN_ALGORITHMS`."""
+        if post_fns and algorithm not in FOLDABLE_SCAN_ALGORITHMS:
+            raise KernelError(
+                f"{algorithm} has no vector-stage epilogue seam; fold "
+                f"post-maps only into {FOLDABLE_SCAN_ALGORITHMS}"
+            )
         if algorithm == "scanu":
-            return ScanUKernel(x_gm, y_gm, consts, s)
+            return ScanUKernel(x_gm, y_gm, consts, s, post_fns=post_fns)
         if algorithm == "scanul1":
             return ScanUL1Kernel(x_gm, y_gm, consts, s)
         n_tiles = x_gm.num_elements // (s * s)
@@ -458,7 +475,8 @@ class ScanContext:
         r_gm = self.device.alloc("scan_r", (halves,), y_gm.dtype)
         if algorithm == "mcscan":
             return MCScanKernel(
-                x_gm, y_gm, r_gm, consts, s, bd, exclusive=exclusive
+                x_gm, y_gm, r_gm, consts, s, bd,
+                exclusive=exclusive, post_fns=post_fns,
             )
         kernel_cls = {
             "ssa": SSAScanKernel,

@@ -76,6 +76,7 @@ class MCScanKernel(Kernel):
         block_dim: int,
         *,
         exclusive: bool = False,
+        post_fns: "tuple" = (),
     ):
         super().__init__(block_dim=block_dim)
         validate_tile_size(s)
@@ -106,6 +107,11 @@ class MCScanKernel(Kernel):
         self.consts = consts
         self.s = s
         self.exclusive = exclusive
+        #: fused elementwise epilogue, applied by phase II's propagators
+        #: while each finished tile is still in UB (graph-level fusion);
+        #: phase I's block reductions read the raw *input*, so the fold
+        #: cannot perturb the carry chain
+        self.post_fns = tuple(post_fns)
         self._halves_per_block: int | None = None  # set at launch
 
     def phases(self):
@@ -194,6 +200,7 @@ class MCScanKernel(Kernel):
                 self.y.dtype,
                 exclusive=self.exclusive,
                 initial_partial=base,
+                post_fns=self.post_fns,
             )
             for t in range(h_lo, h_hi):
                 gm = self.y.slice(t * ell, ell)

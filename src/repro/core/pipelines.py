@@ -195,12 +195,18 @@ class VecPropagator:
         exclusive: bool = False,
         initial_partial: float = 0.0,
         depth: int = 2,
+        post_fns: "tuple" = (),
     ):
         self.ctx = ctx
         self.dtype = dtype
         self.tile_elements = tile_elements
         self.exclusive = exclusive
         self.partial = initial_partial
+        #: elementwise epilogue applied in UB after propagation (and after
+        #: the exclusive shift), before the store — the fusion seam: the
+        #: running partial is chained through the *unmapped* scan values,
+        #: so folding a map here never perturbs the scan semantics
+        self.post_fns = tuple(post_fns)
         pipe = ctx.make_pipe(vec_core)
         self._ub = pipe.init_buffer(
             buffer=BufferKind.UB,
@@ -244,6 +250,20 @@ class VecPropagator:
                 writes=(tile,),
                 nbytes=tile.nbytes,
                 apply=_shift,
+            )
+        for fi, fn in enumerate(self.post_fns):
+            arr = tile.array
+
+            def _post(fn=fn, arr=arr) -> None:
+                arr[...] = np.asarray(fn(arr)).astype(arr.dtype)
+
+            I.vector_macro(
+                ctx,
+                label=f"post-map[{fi}] {label}",
+                reads=(tile,),
+                writes=(tile,),
+                nbytes=tile.nbytes,
+                apply=_post,
             )
         I.data_copy(ctx, gm_out, tile, label=f"store y {label}")
         self._ub.free_tensor(tile)

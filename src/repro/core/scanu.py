@@ -58,7 +58,13 @@ class ScanUKernel(Kernel):
     mode = "mix"
 
     def __init__(
-        self, x: GlobalTensor, y: GlobalTensor, consts: ScanConstants, s: int
+        self,
+        x: GlobalTensor,
+        y: GlobalTensor,
+        consts: ScanConstants,
+        s: int,
+        *,
+        post_fns: "tuple" = (),
     ):
         super().__init__(block_dim=1)
         validate_scan_args(x, y, consts, s, "ScanU")
@@ -66,6 +72,9 @@ class ScanUKernel(Kernel):
         self.y = y
         self.consts = consts
         self.s = s
+        #: fused elementwise epilogue, applied by the vector stage while
+        #: each finished tile is still in UB (graph-level fusion)
+        self.post_fns = tuple(post_fns)
 
     def run(self, ctx) -> None:
         s = self.s
@@ -73,7 +82,9 @@ class ScanUKernel(Kernel):
         n_tiles = self.x.num_elements // ell
 
         cube = UCubePipeline(ctx, self.consts, s)
-        vec = VecPropagator(ctx, ctx.vec_core(0), ell, cube.out_dt)
+        vec = VecPropagator(
+            ctx, ctx.vec_core(0), ell, cube.out_dt, post_fns=self.post_fns
+        )
 
         for t in range(n_tiles):
             gm_in = self.x.slice(t * ell, ell)

@@ -1,12 +1,15 @@
 """Operator-graph front end: serve the whole op zoo through one runtime.
 
 Build a :class:`~repro.graph.ir.Graph` out of registered operators
-(:mod:`repro.graph.op`), lower it once per shape class to captured
-device programs (:mod:`repro.graph.interp`), and serve it through the
-existing batching/pool/failover stack via ``ScanService.submit_graph`` /
-``PoolScanService.submit_graph`` (:mod:`repro.graph.service`).
+(:mod:`repro.graph.op`), fuse adjacent elementwise/scan regions into
+single captured programs (:mod:`repro.graph.fuse`), lower once per shape
+class to captured device programs (:mod:`repro.graph.interp`), and serve
+it through the existing batching/pool/failover stack via
+``ScanService.submit_graph`` / ``PoolScanService.submit_graph``
+(:mod:`repro.graph.service`).
 """
 
+from .fuse import FUSION_MODES, FusedNode, fuse_graph
 from .interp import GraphPlanCache, GraphRunner, LoweredNode
 from .ir import Graph, Node
 from .op import (
@@ -25,6 +28,7 @@ from .service import (
     llm_sample,
     oracle_outputs,
     scan_graph,
+    scan_pipeline,
     sort_graph,
 )
 
@@ -37,6 +41,9 @@ __all__ = [
     "ELEMENTWISE_FNS",
     "register_op",
     "get_op",
+    "FUSION_MODES",
+    "FusedNode",
+    "fuse_graph",
     "GraphRunner",
     "GraphPlanCache",
     "LoweredNode",
@@ -46,6 +53,7 @@ __all__ = [
     "llm_sample",
     "sort_graph",
     "scan_graph",
+    "scan_pipeline",
     "oracle_outputs",
     "graph_oracle_job",
 ]

@@ -33,13 +33,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.api import ScanContext, ScanPlan
+from ..core.api import FOLDABLE_SCAN_ALGORITHMS, ScanContext, ScanPlan
 from ..errors import ConfigError, KernelError
+from ..hw.datatypes import as_dtype, cube_accum_dtype
 from ..ops.driver import AscendOps
+from ..ops.elementwise import ElementwiseMapKernel
 from ..ops.topp import TopPSampler
 from ..serve.plan import PlanCache
+from .fuse import FUSION_MODES, FusedNode, fuse_graph
 from .ir import Graph, Node
-from .op import OpNode, TensorSpec, get_op
+from .op import ELEMENTWISE_FNS, OpNode, TensorSpec, get_op
 
 __all__ = [
     "LoweredNode",
@@ -93,6 +96,10 @@ class LoweredNode:
     #: the owning scan plan, when the node lowered through the plan cache
     plan: "ScanPlan | None" = None
     replays: int = 0
+    #: for fused regions: positional ``(member kind, device-time weight)``
+    #: pairs summing to 1 — weights attribute a replayed region's span back
+    #: to the original node kinds (empty for unfused nodes)
+    members: "tuple" = ()
 
     @property
     def launches(self) -> int:
@@ -131,13 +138,25 @@ class GraphPlanCache:
         return key in self._lowered
 
     def stats(self) -> dict:
+        """Cache counters, shaped like ``PlanCache.stats`` (the scan plan
+        cache): size / hits / misses / build cost, plus graph-specific
+        gauges (fused regions, replays, memoized-timeline hit rates)."""
+        lowered = list(self._lowered.values())
         return {
-            "lowered": len(self._lowered),
+            "lowered": len(lowered),
+            "fused": sum(1 for l in lowered if l.members),
             "hits": self.hits,
             "misses": self.misses,
             "build_host_s": self.build_host_s,
-            "launches": sum(l.launches for l in self._lowered.values()),
-            "tuned": sum(1 for l in self._lowered.values() if l.tuned),
+            "launches": sum(l.launches for l in lowered),
+            "tuned": sum(1 for l in lowered if l.tuned),
+            "replays": sum(l.replays for l in lowered),
+            "timeline_hits": sum(
+                t.timeline_hits for l in lowered for t in l.traced
+            ),
+            "timeline_misses": sum(
+                t.timeline_misses for l in lowered for t in l.traced
+            ),
         }
 
 
@@ -153,12 +172,21 @@ class GraphRunner:
     config: "object"
     tune_store: "object | None" = None
     validate: bool = True
+    #: graph-level fusion mode (see :func:`repro.graph.fuse.fuse_graph`):
+    #: ``off`` lowers one program per node, ``conservative`` fuses
+    #: elementwise chains, ``aggressive`` additionally folds pre/post maps
+    #: into scan programs
+    fusion: str = "conservative"
     ctx: ScanContext = field(init=False)
     ops: AscendOps = field(init=False)
     plans: PlanCache = field(init=False)
     cache: GraphPlanCache = field(init=False)
 
     def __post_init__(self):
+        if self.fusion not in FUSION_MODES:
+            raise ConfigError(
+                f"unknown fusion mode {self.fusion!r}; known: {FUSION_MODES}"
+            )
         self.ctx = ScanContext(self.config)
         self.ops = AscendOps(scan_context=self.ctx)
         self.plans = PlanCache(self.ctx, validate=self.validate)
@@ -171,12 +199,24 @@ class GraphRunner:
     # -- lowering -----------------------------------------------------------
 
     def lower(self, graph: Graph) -> "tuple[list, bool]":
-        """Validate + lower every node; returns (``[(node, LoweredNode)]``
-        in topological order, whether anything had to be built)."""
+        """Validate, fuse (per :attr:`fusion`) and lower every unit;
+        returns (``[(unit, LoweredNode)]`` in topological order — a unit
+        is a :class:`Node` or a :class:`FusedNode` region lowered to one
+        captured program — and whether anything had to be built)."""
         specs = graph.validate()
         entries = []
         built = False
-        for node in graph.toposort():
+        for unit in fuse_graph(graph, self.fusion):
+            if isinstance(unit, FusedNode):
+                key = self._fused_key(unit, specs)
+                low = self.cache.get(key)
+                if low is None:
+                    low = self._build_fused(unit, key, specs)
+                    self.cache.put(key, low)
+                    built = True
+                entries.append((unit, low))
+                continue
+            node = unit
             op = get_op(node.kind)
             in_specs = [specs[e] for e in node.inputs]
             key = (node.kind, op.shape_class(in_specs, node.params))
@@ -187,6 +227,200 @@ class GraphRunner:
                 built = True
             entries.append((node, low))
         return entries, built
+
+    # -- fused regions -------------------------------------------------------
+
+    def _fused_key(self, unit: FusedNode, specs) -> tuple:
+        """Name-free cache key of a fused region: the fn chain(s) plus the
+        member shape classes — two regions with equal keys replay the same
+        captured program."""
+        in_spec = specs[unit.inputs[0]]
+        if unit.kind == "fused_elementwise":
+            op = get_op("fused_elementwise")
+            params = op.resolve_params({"fns": unit.pre_fns})
+            return ("fused_elementwise", op.shape_class([in_spec], params))
+        scan = unit.scan_member
+        scan_sc = get_op("scan").shape_class(
+            [specs[scan.inputs[0]]], scan.params
+        )
+        return ("fused_scan", (unit.pre_fns, scan_sc, unit.post_fns))
+
+    def _build_fused(
+        self, unit: FusedNode, key: tuple, specs
+    ) -> LoweredNode:
+        in_spec = specs[unit.inputs[0]]
+        if unit.kind == "fused_elementwise":
+            # lower through the registered FusedElementwiseOp: the generic
+            # capture path differentially validates the one-pass kernel
+            # against the composed member oracles bit-exactly
+            op = get_op("fused_elementwise")
+            node = Node(
+                name=unit.name,
+                kind="fused_elementwise",
+                inputs=unit.inputs,
+                params=op.resolve_params({"fns": unit.pre_fns}),
+            )
+            low = self._build(op, key, node, [in_spec])
+        else:
+            low = self._build_fused_scan(key, unit, in_spec)
+        low.members = self._member_weights(unit, low)
+        return low
+
+    def _member_weights(self, unit: FusedNode, low: LoweredNode) -> tuple:
+        """Positional ``(kind, weight)`` pairs attributing the fused
+        region's replayed device time back to its members: the scan member
+        gets its standalone plan's share, map members split the remainder
+        in proportion to their fn counts."""
+        total = low.device_ns(self.device)
+        counts = {
+            m.name: len(get_op(m.kind).map_fns(m.params))
+            for m in unit.members
+            if m.kind != "scan"
+        }
+        tot_fns = float(sum(counts.values())) or 1.0
+        if total <= 0:
+            k = len(unit.members)
+            return tuple((m.kind, 1.0 / k) for m in unit.members)
+        if unit.scan_index is None:
+            return tuple(
+                (m.kind, counts[m.name] / tot_fns) for m in unit.members
+            )
+        scan_share = total / len(unit.members)
+        if low.plan is not None:
+            scan_share = min(low.plan.time_ns(), total)
+        rem = max(total - scan_share, 0.0)
+        return tuple(
+            (m.kind, scan_share / total)
+            if m.kind == "scan"
+            else (m.kind, (rem / total) * (counts[m.name] / tot_fns))
+            for m in unit.members
+        )
+
+    def _build_fused_scan(
+        self, key: tuple, unit: FusedNode, in_spec: TensorSpec
+    ) -> LoweredNode:
+        """Capture one program for a map-chain / scan / map-chain region.
+
+        The scan stage resolves exactly like an unfused scan node
+        (explicit params, then TuneStore, then default — sharing the plan
+        cache, so the standalone plan also prices the scan's share of the
+        fused span).  Post-maps fold into the scan kernel's vector stage
+        when the algorithm exposes that seam
+        (:data:`FOLDABLE_SCAN_ALGORITHMS`); otherwise they trail as one
+        in-place multi-fn map pass.  The captured outputs are checked
+        bit-exactly against the composition of the member oracles."""
+        t0 = time.perf_counter()
+        scan_node = unit.scan_member
+        n = in_spec.n
+        dtype = in_spec.dtype
+        exclusive = bool(scan_node.params["exclusive"])
+        algorithm, s, block_dim, tuned = self._resolve_scan(
+            n, dtype, exclusive, scan_node.params
+        )
+        plan = self.plans.get_1d(
+            algorithm,
+            n,
+            dtype,
+            s=s,
+            exclusive=exclusive,
+            block_dim=block_dim,
+            tuned=tuned,
+        )
+
+        pre = tuple(ELEMENTWISE_FNS[f] for f in unit.pre_fns)
+        post = tuple(ELEMENTWISE_FNS[f] for f in unit.post_fns)
+        foldable = algorithm in FOLDABLE_SCAN_ALGORITHMS
+        folded = post if foldable else ()
+        trailing = () if foldable else post
+
+        ctx = self.ctx
+        device = self.device
+        dt = as_dtype(dtype)
+        out_dt = cube_accum_dtype(dt)
+        consts = ctx.constants(s, dt)
+        ell = s * s
+        # exactness-conditioned build input (the ScanOp family): small
+        # integers keep every map stage and the accumulator cumsum exact,
+        # so the differential check below can demand bit equality
+        rng = np.random.default_rng((0xC0FFEE, 11, n))
+        if dtype == "fp16":
+            x = rng.integers(-2, 3, n).astype(np.float16)
+        else:
+            x = rng.integers(-20, 21, n).astype(np.int8)
+
+        mark = device.memory.mark()
+        try:
+            with device.capture_launches() as captured:
+                x_gm, padded = ctx._upload_padded("fused_x", x, ell, dt)
+                scan_in = x_gm
+                if pre:
+                    t_gm = device.alloc("fused_t", (padded,), dt)
+                    if ctx.warm_inputs:
+                        device.warm_l2(x_gm)
+                    vbd = self.ops._vec_block_dim(padded)
+                    device.launch(
+                        ElementwiseMapKernel(
+                            x_gm, t_gm, pre, vbd, label="fused pre"
+                        ),
+                        label="fused pre",
+                    )
+                    scan_in = t_gm
+                y_gm = device.alloc("fused_y", (padded,), out_dt)
+                if ctx.warm_inputs:
+                    device.warm_l2(scan_in, y_gm)
+                kernel = ctx._cube_1d_kernel(
+                    algorithm,
+                    scan_in,
+                    y_gm,
+                    consts,
+                    s,
+                    block_dim,
+                    exclusive,
+                    post_fns=folded,
+                )
+                device.launch(
+                    kernel, label=f"fused {algorithm}(s={s})"
+                )
+                if trailing:
+                    vbd = self.ops._vec_block_dim(padded)
+                    device.launch(
+                        ElementwiseMapKernel(
+                            y_gm, y_gm, trailing, vbd, label="fused post"
+                        ),
+                        label="fused post",
+                    )
+                got = y_gm.to_numpy()[:n]
+        finally:
+            device.memory.release(mark)
+        if not captured:
+            raise KernelError(
+                "lowering fused_scan captured no device launches"
+            )
+
+        validated = None
+        if self.validate:
+            expected = x
+            for m in unit.members:
+                expected = get_op(m.kind).oracle([expected], m.params)[0]
+            if got.dtype != expected.dtype or not np.array_equal(
+                got, expected
+            ):
+                raise KernelError(
+                    f"graph lowering validation failed for fused_scan "
+                    f"{unit.name!r}: the captured program and the "
+                    f"composition of its member oracles diverge on the "
+                    f"exactness-conditioned build input"
+                )
+            validated = True
+        return LoweredNode(
+            kind="fused_scan",
+            shape_class=key[1],
+            traced=list(captured),
+            build_host_s=time.perf_counter() - t0,
+            validated=validated,
+            tuned=tuned,
+            plan=plan,
+        )
 
     def _build(
         self,
@@ -308,10 +542,16 @@ class GraphRunner:
         outputs = graph.run_oracle(inputs, params_override)
         per_node = {}
         i = 0
-        for node, low in entries:
+        for unit, low in entries:
             span = traces[i : i + low.launches]
             i += low.launches
-            per_node[node.name] = sum(t.total_ns for t in span)
+            ns = sum(t.total_ns for t in span)
+            if isinstance(unit, FusedNode) and low.members:
+                # attribute the fused span back to the original nodes
+                for m, (_, w) in zip(unit.members, low.members):
+                    per_node[m.name] = per_node.get(m.name, 0.0) + ns * w
+            else:
+                per_node[unit.name] = ns
         return GraphRunResult(
             outputs=outputs,
             traces=traces,

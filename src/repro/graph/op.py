@@ -146,6 +146,16 @@ class OpNode:
     #: True when the captured trace's timing is a steady-state
     #: approximation (data-dependent control flow, e.g. quickselect)
     data_dependent_trace: bool = False
+    #: True for single-input ops that are pure per-element maps preserving
+    #: dtype and shape — the fusion pass may chain them (see
+    #: :mod:`repro.graph.fuse`); such ops must implement :meth:`map_fns`
+    fusable_map: bool = False
+
+    @classmethod
+    def map_fns(cls, params: dict) -> "tuple[str, ...]":
+        """Named :data:`ELEMENTWISE_FNS` entries this map applies, in
+        order.  Only meaningful when :attr:`fusable_map` is True."""
+        raise NotImplementedError
 
     # -- parameters ---------------------------------------------------------
 
@@ -333,6 +343,11 @@ class ElementwiseOp(OpNode):
     num_inputs = 1
     output_names = ("values",)
     param_defaults = {"fn": Ellipsis}
+    fusable_map = True
+
+    @classmethod
+    def map_fns(cls, params):
+        return (params["fn"],)
 
     @classmethod
     def infer(cls, specs, params):
@@ -379,6 +394,97 @@ class ElementwiseOp(OpNode):
             label = f"elementwise {params['fn']}"
             ops.device.launch(
                 ElementwiseMapKernel(x_gm, y_gm, fn, vbd, label=label),
+                label=label,
+            )
+            values = y_gm.to_numpy()
+        finally:
+            ops.device.memory.release(mark)
+        return (values,)
+
+
+@register_op
+class FusedElementwiseOp(OpNode):
+    """A chain of elementwise maps executed in one UB pass (graph-level
+    fusion).  ``fns`` is the ordered tuple of :data:`ELEMENTWISE_FNS`
+    names; the oracle composes the member oracles stage by stage (with the
+    dtype re-applied after every stage), so it is bit-identical to running
+    the chain as separate :class:`ElementwiseOp` nodes — which makes the
+    generic build-time differential check *the* fused-vs-composed
+    validation required by the fusion pass."""
+
+    kind = "fused_elementwise"
+    num_inputs = 1
+    output_names = ("values",)
+    param_defaults = {"fns": Ellipsis}
+    fusable_map = True
+
+    @classmethod
+    def map_fns(cls, params):
+        return tuple(params["fns"])
+
+    @classmethod
+    def resolve_params(cls, params):
+        out = super().resolve_params(params)
+        fns = out["fns"]
+        if isinstance(fns, str) or not isinstance(fns, (tuple, list)):
+            raise ConfigError(
+                f"fused_elementwise fns must be a sequence of fn names, "
+                f"got {fns!r}"
+            )
+        out["fns"] = tuple(fns)
+        return out
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        fns = tuple(params["fns"])
+        if not fns:
+            raise ConfigError("fused_elementwise needs at least one fn")
+        unknown = [f for f in fns if f not in ELEMENTWISE_FNS]
+        if unknown:
+            raise ConfigError(
+                f"unknown elementwise fn(s) {unknown}; "
+                f"known: {sorted(ELEMENTWISE_FNS)}"
+            )
+        (x,) = specs
+        if x.dtype not in ("fp16", "int8", "int16", "fp32", "int32"):
+            raise ConfigError(
+                f"fused_elementwise does not support dtype {x.dtype!r}"
+            )
+        return (TensorSpec(x.dtype, x.shape),)
+
+    @classmethod
+    def oracle(cls, inputs, params):
+        x = inputs[0]
+        dt = x.dtype
+        for name in params["fns"]:
+            x = np.asarray(ELEMENTWISE_FNS[name](x)).astype(dt)
+        return (x,)
+
+    @classmethod
+    def validation_inputs(cls, specs, params):
+        rng = _rng(specs, 2)
+        n = specs[0].n
+        dt = np_dtype_of(specs[0].dtype)
+        return [rng.integers(-3, 4, n).astype(dt)]
+
+    @classmethod
+    def device_run(cls, ops, inputs, params):
+        x = inputs[0]
+        fns = tuple(ELEMENTWISE_FNS[name] for name in params["fns"])
+        from ..hw.datatypes import as_dtype
+
+        dt = as_dtype(dtype_name(x.dtype))
+        mark = ops.device.memory.mark()
+        try:
+            x_gm = ops._alloc_padded("few_x", x, 1, dt)
+            y_gm = ops.device.alloc("few_y", (x.size,), dt)
+            if ops.sc.warm_inputs:
+                ops.device.warm_l2(x_gm)
+            vbd = ops._vec_block_dim(x.size)
+            label = f"fused elementwise x{len(fns)}"
+            ops.device.launch(
+                ElementwiseMapKernel(x_gm, y_gm, fns, vbd, label=label),
                 label=label,
             )
             values = y_gm.to_numpy()

@@ -35,6 +35,7 @@ __all__ = [
     "llm_sample",
     "sort_graph",
     "scan_graph",
+    "scan_pipeline",
     "oracle_outputs",
     "graph_oracle_job",
 ]
@@ -110,16 +111,24 @@ def llm_sample(
     theta: float = 0.5,
     method: str = "baseline",
     s: int = 128,
+    prep: "tuple[str, ...]" = (),
 ) -> Graph:
     """Top-k → top-p nucleus sampling over a ``vocab``-sized fp16
     probability row: ``topk`` narrows to the k largest, ``top_p_sample``
     sorts/cumsums the survivors and samples at ``theta`` — the
     ``examples/llm_sampling.py`` pipeline as one served graph.  Outputs:
-    the sampled token id (int64), plus the top-k values/ids."""
+    the sampled token id (int64), plus the top-k values/ids.
+
+    ``prep`` prepends a chain of named elementwise maps to the
+    probability row (e.g. ``("abs", "double")`` — a stand-in for logit
+    post-processing); single-consumer and spec-preserving, the chain is
+    exactly what the fusion pass collapses into one program."""
     if k > vocab:
         raise ConfigError(f"llm_sample k={k} exceeds vocab {vocab}")
     g = Graph(name="llm_sample")
     probs = g.add_input("probs", "fp16", (vocab,))
+    for i, fn in enumerate(prep):
+        (probs,) = g.add_node(f"prep{i}", "elementwise", [probs], {"fn": fn})
     tk_v, tk_i = g.add_node(
         "topk", "topk", [probs], {"k": k, "method": method, "s": s}
     )
@@ -169,6 +178,37 @@ def scan_graph(
         {"exclusive": exclusive, "algorithm": algorithm, "s": s},
     )
     g.set_outputs([y])
+    g.validate()
+    return g
+
+
+def scan_pipeline(
+    n: int,
+    *,
+    dtype: str = "fp16",
+    pre: "tuple[str, ...]" = ("abs",),
+    post: "tuple[str, ...]" = ("double",),
+    exclusive: bool = False,
+    algorithm: "str | None" = None,
+    s: "int | None" = None,
+) -> Graph:
+    """Elementwise pre-maps → prefix sum → elementwise post-maps, the
+    canonical fusible region: under ``fusion=aggressive`` the whole
+    pipeline lowers to one captured program (pre chain in one UB pass, the
+    post chain folded into the scan kernel's vector stage)."""
+    g = Graph(name="scan_pipeline")
+    edge = g.add_input("x", dtype, (n,))
+    for i, fn in enumerate(pre):
+        (edge,) = g.add_node(f"pre{i}", "elementwise", [edge], {"fn": fn})
+    (edge,) = g.add_node(
+        "scan",
+        "scan",
+        [edge],
+        {"exclusive": exclusive, "algorithm": algorithm, "s": s},
+    )
+    for i, fn in enumerate(post):
+        (edge,) = g.add_node(f"post{i}", "elementwise", [edge], {"fn": fn})
+    g.set_outputs([edge])
     g.validate()
     return g
 

@@ -30,7 +30,14 @@ _TILE = 16384
 
 
 class ElementwiseMapKernel(Kernel):
-    """``y = fn(x)`` tiled over all participating vector cores."""
+    """``y = fn(x)`` tiled over all participating vector cores.
+
+    ``fn`` may be a single callable or a sequence of callables; a sequence
+    is applied left-to-right *inside UB* on each tile (graph-level fusion:
+    one GM round trip for the whole chain), with the output dtype re-applied
+    after every stage so the result is bit-identical to running the chain
+    as separate single-fn kernels.
+    """
 
     mode = "vec"
 
@@ -38,7 +45,7 @@ class ElementwiseMapKernel(Kernel):
         self,
         x: GlobalTensor,
         y: GlobalTensor,
-        fn: "Callable[[np.ndarray], np.ndarray]",
+        fn: "Callable[[np.ndarray], np.ndarray] | tuple | list",
         block_dim: int,
         *,
         n_instructions: int = 1,
@@ -49,8 +56,10 @@ class ElementwiseMapKernel(Kernel):
             raise ShapeError("map output length must match input")
         self.x = x
         self.y = y
-        self.fn = fn
-        self.n_instructions = n_instructions
+        self.fns = tuple(fn) if isinstance(fn, (tuple, list)) else (fn,)
+        if not self.fns:
+            raise KernelError("map kernel needs at least one fn")
+        self.n_instructions = n_instructions * len(self.fns)
         self.label = label
 
     def run(self, ctx) -> None:
@@ -79,10 +88,13 @@ class ElementwiseMapKernel(Kernel):
             t = q_in.alloc_tensor(self.x.dtype, ln)
             I.data_copy(ctx, t, self.x.slice(off, ln), label=f"{self.label} in")
             out = q_out.alloc_tensor(self.y.dtype, ln)
-            src, dst, fn, out_dt = t.array, out.array, self.fn, self.y.dtype.np_dtype
+            src, dst, fns, out_dt = t.array, out.array, self.fns, self.y.dtype.np_dtype
 
             def _apply() -> None:
-                dst[...] = np.asarray(fn(src)).astype(out_dt)
+                arr = src
+                for f in fns:
+                    arr = np.asarray(f(arr)).astype(out_dt)
+                dst[...] = arr
 
             I.vector_macro(
                 ctx,

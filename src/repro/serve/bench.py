@@ -41,6 +41,7 @@ __all__ = [
     "bench_plan_cache",
     "bench_batched_throughput",
     "bench_replay_engines",
+    "bench_graph_cache",
     "run_serve_bench",
     "format_report",
     "serve_bench_json",
@@ -217,6 +218,49 @@ def bench_replay_engines(
     }
 
 
+def bench_graph_cache(
+    *,
+    requests: int = 6,
+    vocab: int = 96,
+    fusion: str = "aggressive",
+    config: DeviceConfig = ASCEND_910B4,
+) -> dict:
+    """Graph-serving slice: fused-region lowering through the service,
+    reporting the GraphPlanCache counters (lowered/fused/hits/misses) the
+    service summary surfaces."""
+    from ..graph import llm_sample, scan_pipeline
+
+    service = ScanService(config=config, graph_fusion=fusion)
+    rng = np.random.default_rng(0xBE7C4)
+    sample = llm_sample(vocab, k=8, p=0.75, s=16, prep=("abs", "double"))
+    pipe = scan_pipeline(256, pre=("abs",), post=("double",), s=16)
+    for j in range(requests):
+        if j % 2:
+            service.submit_graph(
+                pipe, {"x": rng.integers(-2, 3, 256).astype(np.float16)}
+            )
+        else:
+            probs = (rng.permutation(vocab) + 1).astype(np.float16)
+            service.submit_graph(sample, {"probs": probs})
+    service.flush()
+    stats = service.graph_runner.cache.stats()
+    (cache_line,) = [
+        line.strip()
+        for line in service.summary().splitlines()
+        if line.startswith("graph cache")
+    ]
+    return {
+        "fusion": fusion,
+        "requests": requests,
+        "lowered": stats["lowered"],
+        "fused_regions": stats["fused"],
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "replays": stats["replays"],
+        "summary_line": cache_line,
+    }
+
+
 def run_serve_bench(
     *,
     n: int = 1 << 20,
@@ -253,6 +297,7 @@ def run_serve_bench(
         "plan_cache": plan_rows,
         "batched": batched_rows,
         "replay_engines": replay_rows,
+        "graph_cache": bench_graph_cache(config=config),
     }
 
 
@@ -309,6 +354,14 @@ def format_report(report: dict) -> str:
                 f"{r['replay_cached_s'] * 1e3:8.2f}ms "
                 f"{r['replay_cached_speedup']:9.1f}x"
             )
+    if report.get("graph_cache"):
+        g = report["graph_cache"]
+        lines += [
+            "",
+            f"graph serving ({g['requests']} requests, "
+            f"fusion={g['fusion']}):",
+            f"  {g['summary_line']}",
+        ]
     return "\n".join(lines)
 
 

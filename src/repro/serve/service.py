@@ -105,6 +105,7 @@ class ScanService:
         controller=None,
         parallel: "int | None" = None,
         executor: "HostExecutor | None" = None,
+        graph_fusion: str = "conservative",
     ):
         self.ctx = ctx if ctx is not None else ScanContext(config)
         #: host executor the group numerics jobs run on — shared when the
@@ -151,6 +152,8 @@ class ScanService:
         #: lazily-built operator-graph runner (shared across a pool's
         #: members by the pool front end); see repro.graph.interp
         self.graph_runner = None
+        #: fusion mode the runner is built with (off/conservative/aggressive)
+        self.graph_fusion = graph_fusion
 
     # -- submission ---------------------------------------------------------
 
@@ -284,7 +287,9 @@ class ScanService:
             from ..graph.interp import GraphRunner
 
             self.graph_runner = GraphRunner(
-                self.ctx.device.config, tune_store=self.tune_store
+                self.ctx.device.config,
+                tune_store=self.tune_store,
+                fusion=self.graph_fusion,
             )
         return self.graph_runner
 
@@ -699,9 +704,17 @@ class ScanService:
                 tk.timeline_hits for _, low in entries for tk in low.traced
             )
             for low, span, node_host_s in node_spans:
-                self.stats.record_op(
-                    low.kind, sum(t.total_ns for t in span), host_s=node_host_s
-                )
+                span_ns = sum(t.total_ns for t in span)
+                if low.members:
+                    # fused region: attribute the span back to the member
+                    # kinds by the build-time device-time weights, so the
+                    # per-op breakdown matches the unfused vocabulary
+                    for kind, w in low.members:
+                        self.stats.record_op(
+                            kind, span_ns * w, host_s=node_host_s * w
+                        )
+                else:
+                    self.stats.record_op(low.kind, span_ns, host_s=node_host_s)
             served_ns = sum(t.total_ns for t in traces) + backoff_ns
             io = sum(v.nbytes for v in req.inputs.values())
             self.stats.record_launch(
@@ -751,6 +764,16 @@ class ScanService:
             f"timeline cache  : {cache['timeline_hits']} hits / "
             f"{cache['timeline_misses']} misses (memoized replays)",
         ]
+        if self.graph_runner is not None:
+            g = self.graph_runner.cache.stats()
+            lines.append(
+                f"graph cache     : {g['lowered']} lowered "
+                f"({g['fused']} fused, {g['tuned']} tuned, "
+                f"fusion={self.graph_fusion}), "
+                f"{g['hits']} hits / {g['misses']} misses, "
+                f"{g['replays']} replays, "
+                f"{g['build_host_s'] * 1e3:.1f} ms build time"
+            )
         if self.tune_store is not None:
             lines.append(
                 f"tuned store     : {len(self.tune_store)} entries, "

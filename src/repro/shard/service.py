@@ -70,6 +70,7 @@ class PoolScanService:
         retry: "RetryPolicy | None" = None,
         controller=None,
         parallel: "int | None" = None,
+        graph_fusion: str = "conservative",
     ):
         self.pool = (
             pool
@@ -98,6 +99,7 @@ class PoolScanService:
                 retry=retry,
                 controller=controller,
                 executor=self.executor,
+                graph_fusion=graph_fusion,
             )
             for ctx in self.pool
         ]
@@ -459,6 +461,17 @@ class PoolScanService:
                 for kind, (count, ns) in sorted(ops.items())
             ]
             lines.append("op breakdown    : " + ", ".join(parts))
+        runner = self.workers[0].graph_runner
+        if runner is not None:
+            g = runner.cache.stats()
+            lines.append(
+                f"graph cache     : {g['lowered']} lowered "
+                f"({g['fused']} fused, {g['tuned']} tuned, "
+                f"fusion={self.workers[0].graph_fusion}), "
+                f"{g['hits']} hits / {g['misses']} misses, "
+                f"{g['replays']} replays, "
+                f"{g['build_host_s'] * 1e3:.1f} ms build time"
+            )
         return "\n".join(lines)
 
     def op_device_ns(self) -> "dict[str, tuple[int, float]]":

@@ -103,6 +103,10 @@ class WorkloadSpec:
     #: mix in operator-graph requests (llm_sample top-k -> top-p) with the
     #: raw scans, fuzzing the graph serving path's batching/failover
     graph_mix: bool = False
+    #: fuse-heavy graph mix: llm_sample with an elementwise prep chain plus
+    #: a pre->scan->post pipeline, served with ``fusion=aggressive`` — one
+    #: captured program per fused region under faults
+    graph_fused: bool = False
 
     def __post_init__(self):
         dead = {m for m, _ in self.deaths}
@@ -132,6 +136,10 @@ class WorkloadSpec:
             parts.append("exclusive mix")
         if self.parallel:
             parts.append(f"parallel {self.parallel}")
+        if self.graph_fused:
+            parts.append("fused graphs")
+        elif self.graph_mix:
+            parts.append("graph mix")
         return f"{self.name}: {', '.join(parts)}"
 
 
@@ -241,6 +249,16 @@ WORKLOAD_MATRIX: "tuple[WorkloadSpec, ...]" = (
         transient=(0, 2),
         transient_rate=0.20,
         graph_mix=True,
+    ),
+    WorkloadSpec(
+        name="graph-fused-mix",
+        num_devices=2,
+        requests=8,
+        flushes=2,
+        transient=(0, 1),
+        transient_rate=0.20,
+        parallel=2,
+        graph_fused=True,
     ),
 )
 
@@ -402,6 +420,7 @@ def run_seed(
         max_batch=8,
         gm_budget=spec.gm_budget,
         parallel=workers or None,
+        graph_fusion="aggressive" if spec.graph_fused else "conservative",
     )
     _warm(spec, svc)
     _attach_controller(svc, controller)
@@ -412,12 +431,25 @@ def run_seed(
     rng = np.random.default_rng((FUZZ_SEED0, seed))
     dt = spec.np_dtype
     graphs: dict = {}
-    if spec.graph_mix:
+    if spec.graph_mix or spec.graph_fused:
         from ..graph import llm_sample
 
-        # two vocab shape classes, exercising lowered-program reuse
+        # two vocab shape classes, exercising lowered-program reuse; the
+        # fused mix prepends an elementwise chain so the fusion pass has a
+        # region to collapse inside the sampling graph
+        prep = ("abs", "double") if spec.graph_fused else ()
         for vocab in (96, 160):
-            graphs[vocab] = llm_sample(vocab, k=8, p=0.75, s=spec.s)
+            graphs[vocab] = llm_sample(
+                vocab, k=8, p=0.75, s=spec.s, prep=prep
+            )
+    if spec.graph_fused:
+        from ..graph import scan_pipeline
+
+        # the canonical fused region: pre-map -> scan -> post-map, one
+        # captured program under fusion=aggressive
+        graphs["pipeline"] = scan_pipeline(
+            200, dtype=spec.dtype, pre=("abs",), post=("double",), s=spec.s
+        )
     outstanding: dict = {}
     served = 0
     flush_faults = 0
@@ -444,8 +476,19 @@ def run_seed(
             n = int(rng.choice(spec.sizes))
             x = rng.integers(-2, 3, n).astype(dt)
             exclusive = spec.exclusive_mix and bool(rng.integers(0, 2))
-            graph_pick = spec.graph_mix and bool(rng.integers(0, 2))
-            if graph_pick:
+            graph_pick = (spec.graph_mix or spec.graph_fused) and bool(
+                rng.integers(0, 2)
+            )
+            if graph_pick and spec.graph_fused and bool(rng.integers(0, 2)):
+                from ..graph import oracle_outputs
+
+                graph = graphs["pipeline"]
+                inputs = {"x": rng.integers(-2, 3, 200).astype(dt)}
+                ticket = svc.submit_graph(graph, inputs)
+                checker.expect_graph(
+                    ticket, oracle_outputs(graph, inputs, None)
+                )
+            elif graph_pick:
                 from ..graph import oracle_outputs
 
                 vocab = int(rng.choice((96, 160)))

@@ -1,0 +1,285 @@
+"""Fusion pass legality + fused-vs-unfused execution equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import (
+    FUSION_MODES,
+    FusedNode,
+    Graph,
+    GraphRunner,
+    fuse_graph,
+    llm_sample,
+    scan_pipeline,
+)
+from repro.graph.op import OpNode, TensorSpec, register_op
+from repro.hw.config import ASCEND_910B4
+
+
+@register_op
+class _CastMapOp(OpNode):
+    """Test-only fusable_map op that *changes dtype* — must refuse to
+    chain (dtype compatibility legality rule)."""
+
+    kind = "test_cast_map"
+    fusable_map = True
+    param_defaults = {}
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        return (TensorSpec("fp32", specs[0].shape),)
+
+    @classmethod
+    def map_fns(cls, params):
+        return ("abs",)
+
+
+@register_op
+class _ShrinkMapOp(OpNode):
+    """Test-only fusable_map op that *changes shape* — must refuse to
+    chain (shape-class compatibility legality rule)."""
+
+    kind = "test_shrink_map"
+    fusable_map = True
+    param_defaults = {}
+
+    @classmethod
+    def infer(cls, specs, params):
+        cls.check_arity(specs)
+        n = specs[0].n
+        return (TensorSpec(specs[0].dtype, (max(n // 2, 1),)),)
+
+    @classmethod
+    def map_fns(cls, params):
+        return ("abs",)
+
+
+def _chain(n=512, fns=("abs", "double"), outputs=None, tail=True):
+    g = Graph(name="chain")
+    edge = g.add_input("x", "fp16", (n,))
+    for i, fn in enumerate(fns):
+        (edge,) = g.add_node(f"m{i}", "elementwise", [edge], {"fn": fn})
+    g.set_outputs(outputs if outputs is not None else [edge])
+    g.validate()
+    return g
+
+
+def _fused(units):
+    return [u for u in units if isinstance(u, FusedNode)]
+
+
+class TestLegality:
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ConfigError, match="fusion mode"):
+            fuse_graph(_chain(), "eager")
+        with pytest.raises(ConfigError, match="fusion mode"):
+            GraphRunner(ASCEND_910B4, fusion="eager")
+
+    def test_off_returns_plain_topo_order(self):
+        g = _chain()
+        units = fuse_graph(g, "off")
+        assert units == g.toposort()
+        assert not _fused(units)
+
+    def test_chain_fuses_conservative(self):
+        units = fuse_graph(_chain(), "conservative")
+        (region,) = _fused(units)
+        assert region.kind == "fused_elementwise"
+        assert region.member_names == ("m0", "m1")
+        assert region.pre_fns == ("abs", "double")
+        assert region.post_fns == ()
+        assert len(units) == 1
+
+    def test_multi_consumer_intermediate_refuses(self):
+        g = Graph(name="diamond")
+        x = g.add_input("x", "fp16", (256,))
+        (a,) = g.add_node("a", "elementwise", [x], {"fn": "abs"})
+        (b,) = g.add_node("b", "elementwise", [a], {"fn": "double"})
+        (c,) = g.add_node("c", "elementwise", [a], {"fn": "negate"})
+        g.set_outputs([b, c])
+        g.validate()
+        # a.values has two consumers: nothing may fuse across it
+        assert not _fused(fuse_graph(g, "aggressive"))
+
+    def test_graph_output_edge_refuses(self):
+        g = Graph(name="tap")
+        x = g.add_input("x", "fp16", (256,))
+        (a,) = g.add_node("a", "elementwise", [x], {"fn": "abs"})
+        (b,) = g.add_node("b", "elementwise", [a], {"fn": "double"})
+        g.set_outputs([a, b])  # the intermediate is also a graph output
+        g.validate()
+        assert not _fused(fuse_graph(g, "aggressive"))
+
+    def test_mixed_dtype_refuses(self):
+        g = Graph(name="cast")
+        x = g.add_input("x", "fp16", (256,))
+        (a,) = g.add_node("a", "elementwise", [x], {"fn": "abs"})
+        (c,) = g.add_node("c", "test_cast_map", [a], {})
+        g.set_outputs([c])
+        g.validate()
+        assert not _fused(fuse_graph(g, "aggressive"))
+
+    def test_shape_mismatch_refuses(self):
+        g = Graph(name="shrink")
+        x = g.add_input("x", "fp16", (256,))
+        (a,) = g.add_node("a", "elementwise", [x], {"fn": "abs"})
+        (sh,) = g.add_node("sh", "test_shrink_map", [a], {})
+        g.set_outputs([sh])
+        g.validate()
+        assert not _fused(fuse_graph(g, "aggressive"))
+
+    def test_scan_absorbed_only_in_aggressive(self):
+        g = scan_pipeline(512, pre=("abs", "double"), post=("negate",), s=16)
+        conservative = fuse_graph(g, "conservative")
+        (region,) = _fused(conservative)
+        assert region.kind == "fused_elementwise"
+        assert region.member_names == ("pre0", "pre1")
+        aggressive = fuse_graph(g, "aggressive")
+        (region,) = _fused(aggressive)
+        assert region.kind == "fused_scan"
+        assert region.member_names == ("pre0", "pre1", "scan", "post0")
+        assert region.pre_fns == ("abs", "double")
+        assert region.post_fns == ("negate",)
+        assert region.scan_member.name == "scan"
+        assert len(aggressive) == 1
+
+    def test_bare_scan_with_post_fuses(self):
+        g = scan_pipeline(512, pre=(), post=("double", "abs"), s=16)
+        (region,) = _fused(fuse_graph(g, "aggressive"))
+        assert region.kind == "fused_scan"
+        assert region.member_names == ("scan", "post0", "post1")
+        assert region.pre_fns == ()
+        assert region.post_fns == ("double", "abs")
+
+    def test_vector_scan_refuses(self):
+        g = scan_pipeline(512, pre=("abs",), post=("double",),
+                          algorithm="vector", s=16)
+        for region in _fused(fuse_graph(g, "aggressive")):
+            assert region.kind != "fused_scan"
+
+    def test_singleton_regions_stay_plain(self):
+        g = _chain(fns=("abs",))
+        units = fuse_graph(g, "aggressive")
+        assert not _fused(units)
+
+
+class TestExecutionEquivalence:
+    def _run(self, graph, inputs, fusion):
+        runner = GraphRunner(ASCEND_910B4, fusion=fusion)
+        return runner, runner.execute(graph, inputs)
+
+    @pytest.mark.parametrize("dtype,exclusive", [
+        ("fp16", False),
+        ("fp16", True),
+        ("int8", False),
+        ("int8", True),
+    ])
+    def test_fused_scan_bit_identical(self, dtype, exclusive):
+        g = scan_pipeline(
+            512, dtype=dtype, pre=("abs",), post=("double",),
+            exclusive=exclusive, s=16,
+        )
+        np_dt = np.float16 if dtype == "fp16" else np.int8
+        x = np.random.default_rng(7).integers(-3, 4, 512).astype(np_dt)
+        _, off = self._run(g, [x], "off")
+        _, on = self._run(g, [x], "aggressive")
+        assert off.outputs[0].dtype == on.outputs[0].dtype
+        assert np.array_equal(off.outputs[0], on.outputs[0])
+        assert on.launches < off.launches
+        assert on.time_ns < off.time_ns
+
+    def test_unfoldable_algorithm_trails_map(self):
+        # scanul1 has no epilogue seam: the post chain trails as one
+        # in-place map pass, still fewer launches than unfused
+        g = scan_pipeline(
+            512, pre=("abs", "double"), post=("negate", "abs"),
+            algorithm="scanul1", s=16,
+        )
+        x = np.random.default_rng(3).integers(-3, 4, 512).astype(np.float16)
+        _, off = self._run(g, [x], "off")
+        runner, on = self._run(g, [x], "aggressive")
+        assert np.array_equal(off.outputs[0], on.outputs[0])
+        assert off.launches == 5
+        assert on.launches == 3  # pre map + scan + trailing map
+        assert runner.cache.stats()["fused"] == 1
+
+    def test_llm_sample_prep_chain(self):
+        probs = np.random.default_rng(11).integers(1, 97, 160)
+        probs = probs.astype(np.float16)
+        g = llm_sample(160, k=16, prep=("abs", "double"))
+        _, off = self._run(g, {"probs": probs}, "off")
+        _, on = self._run(g, {"probs": probs}, "aggressive")
+        for a, b in zip(off.outputs, on.outputs):
+            assert np.array_equal(a, b)
+        assert on.launches < off.launches
+
+    def test_off_mode_matches_per_node_lowering(self):
+        g = scan_pipeline(512, pre=("abs",), post=("double",), s=16)
+        runner = GraphRunner(ASCEND_910B4, fusion="off")
+        entries, built = runner.lower(g)
+        assert built
+        assert [u.kind for u, _ in entries] == [
+            "elementwise", "scan", "elementwise",
+        ]
+        assert all(not low.members for _, low in entries)
+
+    def test_member_attribution_covers_all_nodes(self):
+        g = scan_pipeline(512, pre=("abs", "double"), post=("negate",), s=16)
+        runner = GraphRunner(ASCEND_910B4, fusion="aggressive")
+        res = runner.execute(
+            g, [np.ones(512, dtype=np.float16)]
+        )
+        assert sorted(res.node_ns) == ["post0", "pre0", "pre1", "scan"]
+        assert res.node_ns["scan"] > 0
+        assert sum(res.node_ns.values()) == pytest.approx(res.time_ns)
+        (low,) = [low for _, low in runner.lower(g)[0]]
+        assert [k for k, _ in low.members] == [
+            "elementwise", "elementwise", "scan", "elementwise",
+        ]
+        assert sum(w for _, w in low.members) == pytest.approx(1.0)
+
+    def test_fused_region_differentially_validated(self):
+        runner = GraphRunner(ASCEND_910B4, fusion="aggressive")
+        g = scan_pipeline(512, pre=("abs",), post=("double",), s=16)
+        entries, _ = runner.lower(g)
+        ((_, low),) = entries
+        assert low.validated is True
+
+
+class TestGraphPlanCache:
+    def test_stats_parity_keys(self):
+        runner = GraphRunner(ASCEND_910B4, fusion="aggressive")
+        runner.execute(
+            scan_pipeline(512, s=16), [np.ones(512, dtype=np.float16)]
+        )
+        stats = runner.cache.stats()
+        for key in (
+            "lowered", "fused", "hits", "misses", "build_host_s",
+            "launches", "tuned", "replays", "timeline_hits",
+            "timeline_misses",
+        ):
+            assert key in stats
+        assert stats["lowered"] == 1
+        assert stats["fused"] == 1
+        assert stats["misses"] == 1
+        assert stats["replays"] == 1
+
+    def test_cache_hit_across_node_names(self):
+        runner = GraphRunner(ASCEND_910B4, fusion="aggressive")
+        a = scan_pipeline(512, s=16)
+        _, built_a = runner.lower(a)
+        b = Graph(name="renamed")
+        edge = b.add_input("inp", "fp16", (512,))
+        (edge,) = b.add_node("p", "elementwise", [edge], {"fn": "abs"})
+        (edge,) = b.add_node("sc", "scan", [edge], {"s": 16})
+        (edge,) = b.add_node("q", "elementwise", [edge], {"fn": "double"})
+        b.set_outputs([edge])
+        b.validate()
+        _, built_b = runner.lower(b)
+        assert built_a and not built_b
+        assert runner.cache.stats()["hits"] == 1
+
+    def test_fusion_modes_exported(self):
+        assert FUSION_MODES == ("off", "conservative", "aggressive")

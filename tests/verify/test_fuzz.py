@@ -8,6 +8,7 @@ seeds and shrunk to a minimal decision trace.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import numpy as np
@@ -301,4 +302,28 @@ class TestFuzzLoop:
         rng_b = np.random.default_rng((FUZZ_SEED0, 9))
         assert np.array_equal(
             rng_a.integers(-2, 3, 64), rng_b.integers(-2, 3, 64)
+        )
+
+
+class TestFusedGraphMix:
+    @pytest.mark.parametrize("devices", [1, 2, 4])
+    def test_fused_mix_green_across_pool_sizes(self, devices):
+        """The fusion=aggressive graph workload stays invariant-clean at
+        D in {1, 2, 4} — fused-region replay, per-kernel retry and the
+        graph-ticket oracle seam are pool-size independent."""
+        base = _SPEC_BY_NAME["graph-fused-mix"]
+        spec = dataclasses.replace(
+            base,
+            name=f"graph-fused-d{devices}",
+            num_devices=devices,
+            transient=tuple(m for m in base.transient if m < devices),
+        )
+        result = run_seed(spec, 3)
+        assert result.ok, [v.describe() for v in result.violations]
+        assert result.served == spec.requests
+
+    def test_fused_spec_is_in_matrix_and_corpus(self):
+        assert _SPEC_BY_NAME["graph-fused-mix"].graph_fused
+        assert any(
+            e.spec == "graph-fused-mix" for e in load_corpus()
         )
