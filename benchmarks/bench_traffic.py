@@ -1,0 +1,239 @@
+"""Open-loop traffic serving: latency tails and goodput vs offered load.
+
+Drives seeded Poisson arrival streams through the
+:class:`~repro.shard.TrafficScheduler` on pools of D in {1, 2, 4}
+simulated devices and asserts the serving layer's contract:
+
+* **bit-identity under load** — every continuous-batching cell at the
+  moderate load point re-checks each served ticket against the
+  ``core.reference`` oracle; open-loop serving never trades correctness
+  for latency;
+* **continuous beats naive** — at moderate load for the batched system
+  (rho = 1.8x the calibrated per-arrival-launch capacity, which
+  continuous serving absorbs with every deadline met) continuous
+  batching wins the p99 latency tail, goodput, *and* deadlines-met
+  against the naive one-launch-per-arrival policy at every pool size,
+  while giving up at most 5% goodput at the loads where naive is not
+  yet saturated;
+* **failover cost is a tail number** — a chaos cell (member death under
+  load at D=2) serves everything on the survivors, and the reroute cost
+  shows up as a measured p99/p999 penalty against the fault-free cell.
+
+``results/BENCH_traffic.json`` is the committed evidence: p50/p99/p999
+and goodput for every (D, rho, policy) cell, the calibration point, and
+the chaos tail penalty.  ``test_committed_traffic_results`` re-reads the
+committed file so CI fails if the evidence goes stale or silent.
+"""
+
+import json
+
+import numpy as np
+from bench_util import write_bench_json
+
+from repro.core.reference import inclusive_scan
+from repro.hw import FaultPlan
+from repro.hw.config import toy_config
+from repro.serve import TrafficSpec
+from repro.shard import PoolScanService, run_traffic
+
+S = 16
+SIZES = (256, 1024)
+SLO_NS = 100_000.0
+REQUESTS = 200
+POOL_SIZES = (1, 2, 4)
+#: offered load relative to the calibrated naive (one-launch-per-arrival)
+#: capacity: comfortably under, at naive's saturation knee, and past it —
+#: the last point is still *moderate* for continuous serving (batching
+#: multiplies capacity), which is where the tentpole claim is asserted
+RHOS = (0.5, 0.9, 1.8)
+CLAIM_RHO = 1.8
+SEED = 1
+
+
+def _pool(devices):
+    return PoolScanService(devices, config=toy_config(), max_batch=8)
+
+
+def _spec(rate_rps, requests=REQUESTS):
+    return TrafficSpec(
+        name="bench",
+        process="poisson",
+        rate_rps=rate_rps,
+        requests=requests,
+        sizes=SIZES,
+        slo_ns=SLO_NS,
+    )
+
+
+def _calibrate():
+    """Mean per-request service time of the naive policy on an idle
+    single member — the capacity anchor every rho is expressed against."""
+    svc = _pool(1)
+    rep = run_traffic(
+        svc, _spec(20_000.0, requests=64), SEED, policy="naive", s=S
+    )
+    assert rep.served == rep.offered
+    mean_solo_ns = sum(svc.busy_ns) / rep.served
+    return {
+        "mean_solo_service_ns": mean_solo_ns,
+        "naive_capacity_rps_per_device": 1e9 / mean_solo_ns,
+    }
+
+
+def _cell(devices, rho, rate_rps, policy, *, check_oracle=False):
+    svc = _pool(devices)
+    admitted = {}
+    on_admit = (
+        (lambda t, x: admitted.__setitem__(t.req_id, x))
+        if check_oracle
+        else None
+    )
+    rep = run_traffic(
+        svc, _spec(rate_rps), SEED, policy=policy, s=S, on_admit=on_admit
+    )
+    assert rep.accounted() and rep.failed == 0
+    row = {
+        "devices": devices,
+        "rho": rho,
+        "policy": policy,
+        "offered_rps": rep.offered_rps,
+        "served": rep.served,
+        "shed": rep.shed,
+        "deadline_met": rep.deadline_met,
+        "p50_us": rep.percentile(0.50) / 1e3,
+        "p99_us": rep.percentile(0.99) / 1e3,
+        "p999_us": rep.percentile(0.999) / 1e3,
+        "goodput_rps": rep.goodput_rps,
+        "batched_fraction": rep.batched_fraction,
+        "launches": rep.launches,
+    }
+    if check_oracle:
+        row["bit_identical"] = all(
+            np.array_equal(t.result(), inclusive_scan(admitted[t.req_id]))
+            for t in rep.tickets
+        )
+    return row
+
+
+def _chaos_cell(rate_rps, baseline):
+    """The D=2 moderate-load cell re-run with one member dying under
+    load: everything still serves on the survivor, and the failover cost
+    is the measured latency-tail delta against the fault-free cell."""
+    svc = _pool(2)
+    svc.workers[0].ctx.device.fault_plan = FaultPlan(die_at_launch=2)
+    admitted = {}
+    rep = run_traffic(
+        svc, _spec(rate_rps), SEED, s=S,
+        on_admit=lambda t, x: admitted.__setitem__(t.req_id, x),
+    )
+    assert rep.accounted() and rep.failed == 0
+    assert svc._dead[0] and not svc._dead[1]
+    return {
+        "devices": 2,
+        "rho": CLAIM_RHO,
+        "dead_members": [0],
+        "served": rep.served,
+        "shed": rep.shed,
+        "deadline_met": rep.deadline_met,
+        "p50_us": rep.percentile(0.50) / 1e3,
+        "p99_us": rep.percentile(0.99) / 1e3,
+        "p999_us": rep.percentile(0.999) / 1e3,
+        "goodput_rps": rep.goodput_rps,
+        "baseline_p99_us": baseline["p99_us"],
+        "baseline_p999_us": baseline["p999_us"],
+        "failover_p99_penalty_us": rep.percentile(0.99) / 1e3
+        - baseline["p99_us"],
+        "bit_identical": all(
+            np.array_equal(t.result(), inclusive_scan(admitted[t.req_id]))
+            for t in rep.tickets
+        ),
+    }
+
+
+def _run():
+    calibration = _calibrate()
+    per_device = calibration["naive_capacity_rps_per_device"]
+    sweep = []
+    for devices in POOL_SIZES:
+        for rho in RHOS:
+            rate = rho * per_device * devices
+            for policy in ("continuous", "naive"):
+                sweep.append(
+                    _cell(
+                        devices, rho, rate, policy,
+                        check_oracle=(
+                            policy == "continuous" and rho == CLAIM_RHO
+                        ),
+                    )
+                )
+    baseline = next(
+        r
+        for r in sweep
+        if r["devices"] == 2 and r["rho"] == CLAIM_RHO
+        and r["policy"] == "continuous"
+    )
+    chaos = _chaos_cell(CLAIM_RHO * per_device * 2, baseline)
+    return {"calibration": calibration, "sweep": sweep, "chaos": chaos}
+
+
+def _by_cell(sweep):
+    return {(r["devices"], r["rho"], r["policy"]): r for r in sweep}
+
+
+def _assert_claims(payload):
+    cells = _by_cell(payload["sweep"])
+    for r in payload["sweep"]:
+        if "bit_identical" in r:
+            assert r["bit_identical"]
+    # the tentpole claim: at a load that is moderate for the batched
+    # system but past naive's per-arrival-launch capacity, continuous
+    # batching beats naive on the p99 tail, goodput AND deadlines met,
+    # at every pool size
+    for d in POOL_SIZES:
+        cont = cells[(d, CLAIM_RHO, "continuous")]
+        naive = cells[(d, CLAIM_RHO, "naive")]
+        assert cont["p99_us"] < naive["p99_us"]
+        assert cont["goodput_rps"] > naive["goodput_rps"]
+        assert cont["deadline_met"] > naive["deadline_met"]
+        assert cont["batched_fraction"] > 0.5
+    # under naive's saturation the batching delay costs tail latency but
+    # continuous never gives up more than 5% goodput anywhere
+    for (d, rho, policy), cont in cells.items():
+        if policy != "continuous":
+            continue
+        naive = cells[(d, rho, "naive")]
+        assert cont["goodput_rps"] >= 0.95 * naive["goodput_rps"]
+    # goodput grows with pool size at fixed rho (rate scales with D)
+    for rho in RHOS:
+        g = [cells[(d, rho, "continuous")]["goodput_rps"] for d in POOL_SIZES]
+        assert g[-1] > g[0]
+    # chaos: everything served on the survivor, bit-identical, and the
+    # failover cost is visible in the tail
+    chaos = payload["chaos"]
+    assert chaos["bit_identical"]
+    assert chaos["p99_us"] >= chaos["baseline_p99_us"]
+    assert chaos["failover_p99_penalty_us"] >= 0.0
+
+
+def test_traffic_latency_and_goodput(benchmark, results_dir):
+    payload = benchmark.pedantic(_run, iterations=1, rounds=1)
+    _assert_claims(payload)
+    write_bench_json(results_dir, "traffic", payload)
+
+
+def test_committed_traffic_results(results_dir):
+    """The committed evidence stays present, complete, and true: CI fails
+    if BENCH_traffic.json goes missing or its headline claims rot."""
+    path = results_dir / "BENCH_traffic.json"
+    assert path.exists(), "commit benchmarks/results/BENCH_traffic.json"
+    payload = json.loads(path.read_text())
+    cells = _by_cell(payload["sweep"])
+    assert set(cells) == {
+        (d, rho, policy)
+        for d in POOL_SIZES
+        for rho in RHOS
+        for policy in ("continuous", "naive")
+    }
+    for row in payload["sweep"]:
+        assert row["p50_us"] <= row["p99_us"] <= row["p999_us"]
+    _assert_claims(payload)

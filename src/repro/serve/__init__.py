@@ -23,6 +23,15 @@ from .plan import PlanCache, PlanKey
 from .resilience import DEAD, DEGRADED, HEALTHY, MemberHealth, RetryPolicy
 from .service import ScanService, ScanTicket
 from .stats import HOST_PHASES, LaunchRecord, ServiceStats
+from .traffic import (
+    TRAFFIC_SEED0,
+    Arrival,
+    TrafficReport,
+    TrafficSpec,
+    generate_arrivals,
+    make_input,
+    percentile_ns,
+)
 
 __all__ = [
     "PlanCache",
@@ -45,4 +54,11 @@ __all__ = [
     "HEALTHY",
     "DEGRADED",
     "DEAD",
+    "TRAFFIC_SEED0",
+    "Arrival",
+    "TrafficSpec",
+    "TrafficReport",
+    "generate_arrivals",
+    "make_input",
+    "percentile_ns",
 ]

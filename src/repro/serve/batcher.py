@@ -62,6 +62,11 @@ class ScanRequest:
     #: plan dtype name resolved once at submit (``_prepare``); grouping
     #: keys use it so int64 input and int8 input land in one shape class
     dtype: "str | None" = None
+    #: simulated-clock arrival time (ns) under open-loop traffic; None for
+    #: closed-loop submit/flush callers (no simulated arrival process)
+    t_arrival_ns: "float | None" = None
+    #: simulated-clock completion deadline (ns); None = no deadline
+    deadline_ns: "float | None" = None
 
     @property
     def n(self) -> int:
@@ -91,12 +96,16 @@ class LaunchGroup:
 
     @property
     def padded_elements(self) -> int:
-        """Padded element count the group's launches will move — the cost
-        proxy the device-pool router sorts by (LPT: heaviest group first).
-        Batched groups launch ``bucket`` rows once; fallback groups launch
-        once per request."""
-        if self.batched:
-            return self.key.padded * self.bucket
+        """Padded element count of the *actual rows* the group carries —
+        the cost proxy the device-pool router sorts by (LPT: heaviest
+        group first) and deadline admission charges.
+
+        Batched groups are costed by the rows launched, not the bucket
+        capacity: a half-full bucket moves (and pays for) its real rows,
+        and charging ``key.padded * bucket`` instead over-weighted it —
+        the router would place a 5-row group in an 8-bucket ahead of a
+        genuinely heavier group whose bucket happened to be fuller.
+        """
         return self.key.padded * len(self.requests)
 
 

@@ -45,6 +45,28 @@ __all__ = ["ScanTicket", "ScanService"]
 _SLOWDOWN_ALPHA = 0.25
 
 
+def _sorted_by_submit_sequence(tickets: "list[ScanTicket]") -> "list[ScanTicket]":
+    """Order completed tickets by submit sequence.
+
+    ``req_id`` *is* the submit-sequence key: scan and graph submissions
+    draw from one monotone counter per façade (``_next_id``), so sorting
+    on it returns mixed scan+graph traffic in submit order.  That only
+    holds while ids stay unique — a duplicate would mean two requests
+    shared a sequence slot (one of them mis-ordered, its twin's ticket
+    silently clobbered upstream), so it is asserted here rather than
+    assumed.
+    """
+    tickets.sort(key=lambda t: t.req_id)
+    for prev, cur in zip(tickets, tickets[1:]):
+        if prev.req_id == cur.req_id:
+            raise KernelError(
+                f"two completed tickets share request id {cur.req_id}; "
+                f"submit-order return needs one monotone id sequence "
+                f"across scan and graph traffic"
+            )
+    return tickets
+
+
 @dataclass
 class ScanTicket:
     """Handle for one submitted request; filled in by ``flush``."""
@@ -78,6 +100,26 @@ class ScanTicket:
     retries: int = 0
     #: DeviceFaults observed while serving this request
     faults: int = 0
+    #: simulated-clock arrival time (ns); None outside open-loop traffic
+    t_arrival_ns: "float | None" = None
+    #: simulated-clock time the request's batch was admitted onto a device
+    #: queue (staged for launch); None outside open-loop traffic
+    t_admit_ns: "float | None" = None
+    #: simulated-clock completion time (ns); None outside open-loop traffic
+    t_complete_ns: "float | None" = None
+    #: simulated-clock completion deadline (ns); None = no deadline
+    deadline_ns: "float | None" = None
+    #: True/False once completion was judged against the deadline; None
+    #: when no deadline applies (or the request was never served)
+    deadline_met: "bool | None" = None
+
+    @property
+    def sim_latency_ns(self) -> "float | None":
+        """Simulated arrival-to-completion latency (queueing + batching
+        wait + device time); None outside open-loop traffic."""
+        if self.t_arrival_ns is None or self.t_complete_ns is None:
+            return None
+        return self.t_complete_ns - self.t_arrival_ns
 
     def result(self) -> np.ndarray:
         if not self.done:
@@ -268,7 +310,20 @@ class ScanService:
 
     def enqueue(self, req: ScanRequest, ticket: ScanTicket) -> None:
         """Accept an already-prepared request/ticket pair (used directly by
-        the pool front end after routing; ``submit`` is prepare + enqueue)."""
+        the pool front end after routing; ``submit`` is prepare + enqueue).
+
+        Request ids double as the submit-sequence key ``flush`` orders
+        completed tickets by, so they must be unique within one service:
+        a colliding id would silently overwrite a tracked ticket (a lost
+        request) and break submit-order return.  Scan and graph requests
+        draw from one monotone ``_next_id`` counter precisely so this
+        holds for mixed traffic too.
+        """
+        if req.req_id in self._tickets:
+            raise KernelError(
+                f"request id {req.req_id} is already tracked; scan and "
+                f"graph submissions must draw from one id sequence"
+            )
         self._tickets[req.req_id] = ticket
         self.batcher.add(req)
 
@@ -387,8 +442,7 @@ class ScanService:
             raise
         if not self._defer_external:
             self.resolve_deferred()
-        completed.sort(key=lambda t: t.req_id)
-        return completed
+        return _sorted_by_submit_sequence(completed)
 
     def resolve_deferred(self) -> None:
         """Join every pending numerics job and finish its tickets.

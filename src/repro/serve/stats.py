@@ -64,6 +64,15 @@ class ServiceStats:
     #: op kind -> (replayed launches, summed simulated device ns) for
     #: graph traffic — the per-op dimension of the device-time breakdown
     op_device_ns: "dict[str, tuple[int, float]]" = field(default_factory=dict)
+    #: simulated arrival-to-completion latencies (ns) under open-loop
+    #: traffic — queueing + batching wait + device time on the simulated
+    #: clock, disjoint from the host-side ``host_latencies_s``
+    sim_latencies_ns: "list[float]" = field(default_factory=list)
+    #: served requests whose completion beat / missed their deadline
+    deadline_hits: int = 0
+    deadline_misses: int = 0
+    #: requests refused at admission (deadline infeasible or pool dead)
+    shed_requests: int = 0
 
     def record_op(self, kind: str, device_ns: float, *, host_s: float = 0.0) -> None:
         """Charge one graph node's replay to its op kind: simulated device
@@ -89,6 +98,21 @@ class ServiceStats:
 
     def record_request(self, host_s: float) -> None:
         self.host_latencies_s.append(host_s)
+
+    def record_sim_request(
+        self, latency_ns: float, *, deadline_met: "bool | None" = None
+    ) -> None:
+        """Record one served open-loop request: simulated latency plus its
+        deadline verdict (None = the request carried no deadline)."""
+        self.sim_latencies_ns.append(latency_ns)
+        if deadline_met is True:
+            self.deadline_hits += 1
+        elif deadline_met is False:
+            self.deadline_misses += 1
+
+    def record_shed(self, count: int = 1) -> None:
+        """Count requests refused at admission (never enqueued)."""
+        self.shed_requests += count
 
     def record_launch(self, record: LaunchRecord) -> None:
         self.launches.append(record)
@@ -128,6 +152,23 @@ class ServiceStats:
 
     def host_latency_percentile_s(self, q: float) -> float:
         return _percentile(sorted(self.host_latencies_s), q)
+
+    # -- simulated open-loop metrics -----------------------------------------
+
+    @property
+    def sim_requests(self) -> int:
+        """Served open-loop requests (simulated-latency samples)."""
+        return len(self.sim_latencies_ns)
+
+    def sim_latency_percentile_ns(self, q: float) -> float:
+        """Simulated latency percentile (p50/p99/p999 of the traffic run)."""
+        return _percentile(sorted(self.sim_latencies_ns), q)
+
+    @property
+    def mean_sim_latency_ns(self) -> float:
+        if not self.sim_latencies_ns:
+            return 0.0
+        return sum(self.sim_latencies_ns) / len(self.sim_latencies_ns)
 
     # -- launch-side metrics -----------------------------------------------
 
@@ -231,6 +272,17 @@ class ServiceStats:
             f"{self.gelems_per_s:.1f} GElems/s, "
             f"{self.bandwidth_gbps:.1f} GB/s",
         ]
+        if self.sim_latencies_ns:
+            sim = sorted(self.sim_latencies_ns)
+            lines.append(
+                f"sim latency     : {self.sim_requests} requests, "
+                f"p50 {_percentile(sim, 0.50) / 1e3:.1f} us, "
+                f"p99 {_percentile(sim, 0.99) / 1e3:.1f} us, "
+                f"p999 {_percentile(sim, 0.999) / 1e3:.1f} us; "
+                f"{self.deadline_hits} in deadline / "
+                f"{self.deadline_misses} late / "
+                f"{self.shed_requests} shed"
+            )
         phases = self.phase_line()
         if phases is not None:
             lines.append(phases)

@@ -16,7 +16,10 @@ Two execution paths are offered:
 * :class:`PoolScanService` — many independent requests, throughput-bound:
   a pool front end routes launch groups onto the least-loaded member
   (longest-processing-time first), with per-device plan caches sharing
-  one tuned-plan store.
+  one tuned-plan store;
+* :class:`TrafficScheduler` — open-loop serving over the pool: continuous
+  batching with deadline-driven admission and EDF + cost-model placement
+  for arrival streams from :mod:`repro.serve.traffic`.
 """
 
 from .pool import DevicePool
@@ -27,6 +30,7 @@ from .scan import (
     ShardRecord,
     shard_ranges,
 )
+from .scheduler import TrafficScheduler, run_traffic
 from .service import PoolScanService
 
 __all__ = [
@@ -36,5 +40,7 @@ __all__ = [
     "ShardRecord",
     "ShardedScanResult",
     "ShardedScanner",
+    "TrafficScheduler",
+    "run_traffic",
     "shard_ranges",
 ]

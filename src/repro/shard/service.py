@@ -45,7 +45,11 @@ from ..serve.resilience import (
     MemberHealth,
     RetryPolicy,
 )
-from ..serve.service import ScanService, ScanTicket
+from ..serve.service import (
+    ScanService,
+    ScanTicket,
+    _sorted_by_submit_sequence,
+)
 from ..serve.stats import HOST_PHASES
 from .pool import DevicePool
 
@@ -117,6 +121,16 @@ class PoolScanService:
         )
         #: accumulated simulated busy ns per member (the routing load)
         self.busy_ns = [0.0] * len(self.workers)
+        #: true pool makespan: simulated wall-clock accumulated across
+        #: serving rounds.  Members run concurrently *within* a round (a
+        #: flush, or one scheduler dispatch window), so each round adds
+        #: its longest member delta; rounds are sequential, so the deltas
+        #: add up — unlike ``max(busy_ns)``, idle time a member spends
+        #: waiting between rounds is part of the span
+        self.span_ns = 0.0
+        #: host seconds spent inside member serving (``_dispatch``), used
+        #: to separate routing time from member time in ``phase_host_s``
+        self._member_host_s = 0.0
         #: launch groups routed to each member
         self.groups_routed = [0] * len(self.workers)
         #: launch groups recalled from each member after a terminal fault
@@ -134,6 +148,30 @@ class PoolScanService:
 
     # -- submission ----------------------------------------------------------
 
+    def _prepare(
+        self,
+        x: np.ndarray,
+        *,
+        algorithm: "str | None" = None,
+        s: "int | None" = None,
+        exclusive: bool = False,
+        t_arrival_ns: "float | None" = None,
+        deadline_ns: "float | None" = None,
+    ) -> "tuple[ScanRequest, ScanTicket]":
+        """Validate one pool submission and track its ticket without
+        enqueueing — the admission seam the open-loop traffic scheduler
+        (:class:`repro.shard.scheduler.TrafficScheduler`) uses to own
+        batching itself while ids, tickets and routing stay pool-level."""
+        req_id = self._next_id
+        self._next_id += 1
+        req, ticket = self.workers[0]._prepare(
+            x, algorithm=algorithm, s=s, exclusive=exclusive, req_id=req_id
+        )
+        req.t_arrival_ns = ticket.t_arrival_ns = t_arrival_ns
+        req.deadline_ns = ticket.deadline_ns = deadline_ns
+        self._tickets[req_id] = ticket
+        return req, ticket
+
     def submit(
         self,
         x: np.ndarray,
@@ -144,12 +182,9 @@ class PoolScanService:
     ) -> ScanTicket:
         """Enqueue one 1-D scan on the pool; the serving device is chosen
         at ``flush`` time (the ticket's ``device`` field records it)."""
-        req_id = self._next_id
-        self._next_id += 1
-        req, ticket = self.workers[0]._prepare(
-            x, algorithm=algorithm, s=s, exclusive=exclusive, req_id=req_id
+        req, ticket = self._prepare(
+            x, algorithm=algorithm, s=s, exclusive=exclusive
         )
-        self._tickets[req_id] = ticket
         self.batcher.add(req)
         return ticket
 
@@ -229,12 +264,13 @@ class PoolScanService:
         pool queue with their tickets tracked.
         """
         t_flush = time.perf_counter()
-        member_s = 0.0
+        member_s0 = self._member_host_s
         groups = self.batcher.drain()
         # LPT: heaviest groups place first, onto the least-busy member
         groups.sort(key=lambda g: g.padded_elements, reverse=True)
         queue = [(group, 0) for group in groups]
         completed: list[ScanTicket] = []
+        busy_before = list(self.busy_ns)
         # members leave their numerics jobs pending until every group is
         # routed and replayed — with a parallel executor the whole pool's
         # NumPy passes overlap this (serial, schedule-bearing) loop
@@ -254,47 +290,74 @@ class PoolScanService:
                 except DeviceFault:
                     self._restore(group, queue)
                     raise
-                worker = self.workers[target]
-                routed: list[tuple[ScanRequest, ScanTicket]] = []
-                for req in group.requests:
-                    ticket = self._tickets.pop(req.req_id)
-                    ticket.device = target
-                    worker.enqueue(req, ticket)
-                    routed.append((req, ticket))
-                before = worker.stats.device_ns
-                t_member = time.perf_counter()
-                try:
-                    completed.extend(worker.flush())
-                except DeviceFault as fault:
-                    member_s += time.perf_counter() - t_member
-                    # faulted time (incl. retries' backoff already served)
-                    self.busy_ns[target] += worker.stats.device_ns - before
-                    if fault.permanent:
-                        self._dead[target] = True
-                    leftover = self._recall(worker, group, fault)
-                    for _, ticket in routed:
-                        if ticket.done:
-                            completed.append(ticket)
-                    if not leftover.requests:
-                        continue
-                    self.failovers[target] += 1
+                served, leftover, fault = self._dispatch(group, target)
+                completed.extend(served)
+                if leftover is not None:
                     if failovers + 1 > self._max_group_failovers:
                         self._restore(leftover, queue)
-                        raise
+                        raise fault
                     queue.append((leftover, failovers + 1))
-                    continue
-                member_s += time.perf_counter() - t_member
-                self.busy_ns[target] += worker.stats.device_ns - before
-                self.groups_routed[target] += 1
         finally:
             t_resolve = time.perf_counter()
             for w in self.workers:
                 w._defer_external = False
                 w.resolve_deferred()
-            member_s += time.perf_counter() - t_resolve
+            self._member_host_s += time.perf_counter() - t_resolve
+            member_s = self._member_host_s - member_s0
             self.routing_host_s += time.perf_counter() - t_flush - member_s
-        completed.sort(key=lambda t: t.req_id)
-        return completed
+            # members served this flush concurrently; the round's span is
+            # the longest member delta, and rounds add up (satellite fix:
+            # the pool makespan is *not* max(busy_ns) once a member idles
+            # between flushes)
+            self.span_ns += max(
+                (b - b0 for b, b0 in zip(self.busy_ns, busy_before)),
+                default=0.0,
+            )
+        return _sorted_by_submit_sequence(completed)
+
+    def _dispatch(
+        self, group: LaunchGroup, target: int
+    ) -> "tuple[list[ScanTicket], LaunchGroup | None, DeviceFault | None]":
+        """Serve one launch group synchronously on pool member ``target``.
+
+        The shared serving step under ``flush`` and the open-loop
+        :class:`~repro.shard.scheduler.TrafficScheduler`: move the group's
+        tickets into the member, flush it, and account busy time.  Returns
+        ``(completed, leftover, fault)`` — ``leftover`` is the recalled
+        unserved remainder of the group after a terminal member fault
+        (None when everything launched), ready to reroute; ``fault`` is
+        the :class:`~repro.errors.DeviceFault` that caused it (None on a
+        clean serve).  A permanent fault marks the member dead.  Tickets
+        are never lost: work the member completed before faulting is
+        returned, the rest is back in pool custody inside ``leftover``.
+        """
+        worker = self.workers[target]
+        routed: list[tuple[ScanRequest, ScanTicket]] = []
+        for req in group.requests:
+            ticket = self._tickets.pop(req.req_id)
+            ticket.device = target
+            worker.enqueue(req, ticket)
+            routed.append((req, ticket))
+        before = worker.stats.device_ns
+        t_member = time.perf_counter()
+        try:
+            completed = worker.flush()
+        except DeviceFault as fault:
+            self._member_host_s += time.perf_counter() - t_member
+            # faulted time (incl. retries' backoff already served)
+            self.busy_ns[target] += worker.stats.device_ns - before
+            if fault.permanent:
+                self._dead[target] = True
+            leftover = self._recall(worker, group, fault)
+            completed = [t for _, t in routed if t.done]
+            if not leftover.requests:
+                return completed, None, fault
+            self.failovers[target] += 1
+            return completed, leftover, fault
+        self._member_host_s += time.perf_counter() - t_member
+        self.busy_ns[target] += worker.stats.device_ns - before
+        self.groups_routed[target] += 1
+        return completed, None, None
 
     def shutdown(self) -> None:
         """Join pending numerics and release the shared executor."""
@@ -380,9 +443,20 @@ class PoolScanService:
 
     @property
     def makespan_ns(self) -> float:
-        """Simulated wall-clock of everything served so far: members run
-        concurrently, so the busiest one bounds the pool."""
-        return max(self.busy_ns) if self.busy_ns else 0.0
+        """True simulated wall-clock of everything served so far.
+
+        Members run concurrently within one serving round, so each round
+        contributes its longest member delta; rounds are sequential, so
+        deltas accumulate (``span_ns``).  This is never less than
+        ``max(busy_ns)`` — the old definition, which pinned the busiest
+        member at 100% utilisation even when it sat idle between rounds —
+        and never more than ``sum(busy_ns)`` (fully serialized rounds).
+        The open-loop traffic scheduler extends the span further with
+        genuine idle gaps between arrivals (it owns the simulated clock,
+        so it writes the run's true span back after each run — see
+        :meth:`repro.shard.scheduler.TrafficScheduler.run`).
+        """
+        return self.span_ns
 
     @property
     def total_elements(self) -> int:
@@ -399,12 +473,39 @@ class PoolScanService:
         return self.total_elements / span if span else 0.0
 
     def device_utilisation(self) -> "list[float]":
-        """Per-member busy fraction of the pool makespan (1.0 = critical
-        path; low values = idle capacity the router could not fill)."""
+        """Per-member busy fraction of the *true* pool makespan (1.0 =
+        busy for the whole span; low values = idle capacity the router
+        could not fill, or time spent dead).
+
+        Dividing by the accumulated span instead of ``max(busy_ns)``
+        fixes two reporting bugs: the busiest member no longer reports
+        exactly 1.0 when it idled between serving rounds, and a dead
+        member's stale busy time decays as the span keeps growing instead
+        of being frozen at its last live fraction.  Use
+        :meth:`utilisation` for the per-member report with explicit dead
+        flags."""
         span = self.makespan_ns
         if not span:
             return [0.0] * len(self.workers)
         return [b / span for b in self.busy_ns]
+
+    def utilisation(self) -> "list[dict]":
+        """Explicit per-member utilisation report: busy ns, busy fraction
+        of the true pool makespan, health state, and a ``dead`` flag —
+        dead members are reported as dead rather than leaving a stale
+        busy fraction to be misread as live capacity."""
+        fractions = self.device_utilisation()
+        health = self.member_health()
+        return [
+            {
+                "member": i,
+                "busy_ns": self.busy_ns[i],
+                "fraction": fractions[i],
+                "state": health[i].state,
+                "dead": self._dead[i],
+            }
+            for i in range(len(self.workers))
+        ]
 
     def summary(self) -> str:
         lines = [

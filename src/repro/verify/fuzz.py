@@ -107,6 +107,19 @@ class WorkloadSpec:
     #: a pre->scan->post pipeline, served with ``fusion=aggressive`` — one
     #: captured program per fused region under faults
     graph_fused: bool = False
+    #: open-loop traffic process ("poisson" | "bursty" | "diurnal"); when
+    #: set, the seed serves a generated arrival stream through the
+    #: :class:`~repro.shard.TrafficScheduler` (continuous batching,
+    #: deadline admission, EDF + cost-model routing) instead of the
+    #: closed-loop submit/flush rounds
+    traffic: str = ""
+    #: offered load for traffic seeds (requests per simulated second)
+    traffic_rate: float = 400_000.0
+    #: per-arrival completion SLO for traffic seeds.  Generous by default
+    #: so admission rarely sheds; tighten it to fuzz the deadline-staging
+    #: and shed paths (shed arrivals never reach a device, so they carry
+    #: no oracle expectation either way)
+    slo_ns: float = 50_000_000.0
 
     def __post_init__(self):
         dead = {m for m, _ in self.deaths}
@@ -140,6 +153,10 @@ class WorkloadSpec:
             parts.append("fused graphs")
         elif self.graph_mix:
             parts.append("graph mix")
+        if self.traffic:
+            parts.append(
+                f"{self.traffic} traffic @{self.traffic_rate:,.0f} rps"
+            )
         return f"{self.name}: {', '.join(parts)}"
 
 
@@ -259,6 +276,28 @@ WORKLOAD_MATRIX: "tuple[WorkloadSpec, ...]" = (
         transient_rate=0.20,
         parallel=2,
         graph_fused=True,
+    ),
+    WorkloadSpec(
+        name="traffic-poisson-d2",
+        num_devices=2,
+        requests=24,
+        traffic="poisson",
+        traffic_rate=400_000.0,
+        transient=(0,),
+        transient_rate=0.20,
+    ),
+    WorkloadSpec(
+        name="traffic-deadline-chaos",
+        num_devices=3,
+        requests=48,
+        traffic="bursty",
+        traffic_rate=1_500_000.0,
+        # tight SLO: buckets stage on deadline pressure and the failover
+        # cost of the mid-stream death shows up as real deadline misses
+        slo_ns=15_000.0,
+        transient=(0, 1),
+        transient_rate=0.35,
+        deaths=((2, 1),),
     ),
 )
 
@@ -392,6 +431,88 @@ def _warm(spec: WorkloadSpec, svc: PoolScanService) -> None:
                 worker.flush()
 
 
+def _run_traffic_seed(
+    spec: WorkloadSpec,
+    seed: int,
+    svc: PoolScanService,
+    controller,
+    checker: ServeInvariantChecker,
+    config,
+) -> SeedResult:
+    """Serve one open-loop traffic seed through the
+    :class:`~repro.shard.TrafficScheduler` and check the same invariants
+    as a closed-loop seed.
+
+    Every *admitted* arrival registers an oracle expectation at admit
+    time; shed arrivals never reach a device, so they carry none.  The
+    scheduler drains fully inside :func:`~repro.shard.run_traffic`
+    (failover reroutes around deaths, admission sheds around a dead
+    pool), so there is no end-of-seed repair phase — a ticket the run
+    could neither serve nor account for surfaces as an unresolved
+    expectation or a retained-queue violation in ``checker.finish``."""
+    from ..serve.traffic import TrafficSpec
+    from ..shard.scheduler import run_traffic
+
+    tspec = TrafficSpec(
+        name=spec.name,
+        process=spec.traffic,
+        rate_rps=spec.traffic_rate,
+        requests=spec.requests,
+        sizes=spec.sizes,
+        slo_ns=spec.slo_ns,
+        dtype=spec.dtype,
+    )
+    report = run_traffic(
+        svc,
+        tspec,
+        seed,
+        controller=controller,
+        s=spec.s,
+        on_admit=checker.expect,
+    )
+    checker.observe(report.tickets)
+    violations = checker.finish()
+    if not report.accounted():
+        violations.append(
+            InvariantViolation(
+                invariant="exactly_once",
+                detail=(
+                    f"traffic accounting broke: offered {report.offered} "
+                    f"!= served {report.served} + shed {report.shed} "
+                    f"+ failed {report.failed}"
+                ),
+            )
+        )
+    if report.failed:
+        violations.append(
+            InvariantViolation(
+                invariant="queue_drained",
+                detail=(
+                    f"{report.failed} admitted request(s) failed under a "
+                    f"fault profile that keeps a member alive"
+                ),
+            )
+        )
+
+    for worker in svc.workers:
+        plan = next(iter(worker.cache._plans.values()), None)
+        if plan is not None:
+            bad = check_schedule_invariance(plan.traced, config, controller)
+            if bad is not None:
+                violations.append(bad)
+            break
+
+    svc.shutdown()
+    return SeedResult(
+        spec=spec.name,
+        seed=seed,
+        violations=violations,
+        trace=list(controller.trace),
+        served=report.served,
+        flush_faults=sum(svc.failovers),
+    )
+
+
 def run_seed(
     spec: WorkloadSpec,
     seed: int,
@@ -427,6 +548,9 @@ def run_seed(
     for member, plan in _fault_plans(spec, seed, controller).items():
         pool.inject_faults(member, plan)
     checker = ServeInvariantChecker(svc)
+
+    if spec.traffic:
+        return _run_traffic_seed(spec, seed, svc, controller, checker, config)
 
     rng = np.random.default_rng((FUZZ_SEED0, seed))
     dt = spec.np_dtype

@@ -342,3 +342,53 @@ class TestTunedServing:
         assert not t.tuned
         assert (t.algorithm, t.s) == ("scanu", 128)
         assert service.stats.tuned_hit_rate == 0.0
+
+
+class TestSubmitSequenceOrdering:
+    """Satellite: submit-order return rides one monotone id sequence
+    shared by scan and graph submissions; collisions are an error, not a
+    silent reorder."""
+
+    def test_mixed_scan_and_graph_ids_are_one_monotone_sequence(self):
+        from repro.graph import llm_sample
+
+        svc = ScanService(config=toy_config())
+        rng = np.random.default_rng(3)
+        graph = llm_sample(96, k=8, p=0.75, s=16)
+        ids = []
+        for i in range(6):
+            if i % 2 == 0:
+                probs = (rng.permutation(96) + 1).astype(np.float16)
+                ids.append(svc.submit_graph(graph, {"probs": probs}).req_id)
+            else:
+                ids.append(svc.submit(_x(512, i), s=16).req_id)
+        # one shared counter: strictly increasing across both kinds
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+        done = svc.flush()
+        # and flush returns the mixed traffic in exactly submit order
+        assert [t.req_id for t in done] == ids
+        svc.shutdown()
+
+    def test_enqueue_rejects_duplicate_request_id(self, service):
+        from repro.errors import KernelError
+
+        req, ticket = service._prepare(_x(512), s=16)
+        service.enqueue(req, ticket)
+        req2, ticket2 = service._prepare(_x(512, 1), s=16, req_id=req.req_id)
+        with pytest.raises(KernelError, match="already tracked"):
+            service.enqueue(req2, ticket2)
+
+    def test_sort_asserts_unique_submit_sequence(self):
+        from repro.errors import KernelError
+        from repro.serve.service import ScanTicket, _sorted_by_submit_sequence
+
+        def t(req_id):
+            return ScanTicket(
+                req_id=req_id, n=8, algorithm="scanu", dtype="fp16",
+                s=16, exclusive=False,
+            )
+
+        out = _sorted_by_submit_sequence([t(2), t(0), t(1)])
+        assert [x.req_id for x in out] == [0, 1, 2]
+        with pytest.raises(KernelError, match="share request id"):
+            _sorted_by_submit_sequence([t(1), t(0), t(1)])

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.reference import exact_fp16_scan_input, inclusive_scan
 from repro.hw.config import toy_config
+from repro.serve import DEAD
 from repro.shard import DevicePool, PoolScanService
 from repro.tune import TuneStore, WorkloadKey, ensure_tuned
 
@@ -111,7 +112,35 @@ class TestFlushInvariants:
             svc.flush()
         for i, worker in enumerate(svc.workers):
             assert svc.busy_ns[i] == pytest.approx(worker.stats.device_ns)
-        assert svc.makespan_ns == max(svc.busy_ns)
+        # across rounds the true span accumulates per-round maxima: never
+        # below the busiest member, never above fully-serialized rounds
+        assert max(svc.busy_ns) <= svc.makespan_ns <= sum(svc.busy_ns)
+
+    def test_makespan_counts_idle_between_rounds(self, svc, rng):
+        """A member that dominates round 1 and idles in round 2 must not
+        report 100% utilisation: the pool span keeps growing with every
+        round (the satellite-2 fix — the old ``max(busy_ns)`` definition
+        pinned the busiest member at exactly 1.0 forever)."""
+        for _ in range(2):
+            _submit_mix(svc, rng)
+            svc.flush()
+        util = svc.device_utilisation()
+        # both members served work in both rounds, so neither was busy for
+        # the *whole* accumulated span
+        assert max(util) < 1.0
+        assert all(0.0 < u < 1.0 for u in util)
+
+    def test_utilisation_reports_dead_members_explicitly(self, svc, rng):
+        _submit_mix(svc, rng)
+        svc.flush()
+        svc._dead[1] = True
+        report = svc.utilisation()
+        assert [r["member"] for r in report] == [0, 1]
+        assert report[1]["dead"] is True and report[1]["state"] == DEAD
+        assert report[0]["dead"] is False
+        for r in report:
+            assert 0.0 <= r["fraction"] <= 1.0
+            assert r["busy_ns"] == svc.busy_ns[r["member"]]
 
     def test_utilisation_sums_and_bounds_under_skewed_mix(self, rng):
         svc = PoolScanService(3, config=toy_config(), batching=False)
@@ -139,6 +168,64 @@ class TestFlushInvariants:
         assert svc.pending == 0 and not svc._tickets
         for worker in svc.workers:
             assert not worker._tickets and len(worker.batcher) == 0
+
+
+class TestRouterCostModel:
+    """Satellite: the LPT cost proxy must charge batched groups by the
+    rows they actually carry, not their bucket capacity."""
+
+    def test_padded_elements_charges_actual_rows(self):
+        from repro.serve import LaunchGroup, PlanKey, ScanRequest
+
+        reqs = [
+            ScanRequest(
+                req_id=i, x=np.zeros(100, np.float16), algorithm="scanu",
+                s=16, exclusive=False, t_submit=0.0, dtype="fp16",
+            )
+            for i in range(5)
+        ]
+        group = LaunchGroup(
+            key=PlanKey("scanu", 128, "fp16", 8, 16),
+            requests=reqs,
+            batched=True,
+            bucket=8,
+        )
+        # 5 rows in an 8-bucket cost 5 padded rows — not 8 (the pre-fix
+        # capacity charge that over-weighted half-full buckets)
+        assert group.padded_elements == 128 * 5
+
+    def test_capacity_charging_misplaces_groups(self, rng):
+        """Regression for the pre-fix router: three batched shape classes
+        whose bucket-capacity costs all tie at 8192 padded elements while
+        their real element counts (and simulated launch times) differ.
+        The old proxy therefore sorted them in submission order and built
+        a strictly worse LPT schedule than actual-rows costing does."""
+
+        def build(svc):
+            r = np.random.default_rng(0)
+            for rows, n in [(3, 2048), (7, 1024), (2, 4096)]:
+                for _ in range(rows):
+                    x = r.integers(-2, 3, n).astype(np.float16)
+                    svc.submit(x, algorithm="scanu", s=16)
+
+        fixed = PoolScanService(2, config=toy_config(), max_batch=16)
+        build(fixed)
+        fixed.flush()
+
+        # emulate the pre-fix router: same groups, sorted by the old
+        # capacity-based cost, placed least-loaded exactly like flush
+        old = PoolScanService(2, config=toy_config(), max_batch=16)
+        build(old)
+        groups = old.batcher.drain()
+        groups.sort(
+            key=lambda g: g.key.padded * (g.bucket or len(g.requests)),
+            reverse=True,
+        )
+        for g in groups:
+            target = min(range(2), key=lambda i: old.busy_ns[i])
+            served, leftover, fault = old._dispatch(g, target)
+            assert leftover is None and fault is None
+        assert max(fixed.busy_ns) < max(old.busy_ns)
 
 
 class TestSharedTuning:
